@@ -1,0 +1,65 @@
+"""Ablation — BAT vs MKL backend per operation (§7.3 policy evidence).
+
+For linear operations the copy to the MKL format dominates (BAT wins);
+for complex operations the dense kernel wins despite the copy.  These
+measurements justify the BackendPolicy defaults.
+"""
+
+import pytest
+
+from conftest import make_config
+from repro.core.ops import execute_rma
+from repro.data.synthetic import uniform_pair, uniform_relation
+
+N_ROWS = 50_000
+N_COLS = 20
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return uniform_relation(N_ROWS, N_COLS, seed=6)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return uniform_pair(N_ROWS, N_COLS, seed=7)
+
+
+@pytest.mark.benchmark(group="ablation-backend-add")
+@pytest.mark.parametrize("backend", ["bat", "mkl"])
+def test_add(benchmark, pair, backend):
+    r, s = pair
+    config = make_config(prefer=backend)
+    benchmark(lambda: execute_rma("add", r, "id1", s, "id2",
+                                  config=config))
+
+
+@pytest.mark.benchmark(group="ablation-backend-qqr")
+@pytest.mark.parametrize("backend", ["bat", "mkl"])
+def test_qqr(benchmark, relation, backend):
+    config = make_config(prefer=backend)
+    benchmark(lambda: execute_rma("qqr", relation, "id", config=config))
+
+
+@pytest.mark.benchmark(group="ablation-backend-cpd")
+@pytest.mark.parametrize("backend", ["bat", "mkl"])
+def test_cpd_symmetric(benchmark, relation, backend):
+    config = make_config(prefer=backend)
+    benchmark(lambda: execute_rma("cpd", relation, "id", relation, "id",
+                                  config=config))
+
+
+@pytest.mark.benchmark(group="ablation-backend-mmu")
+@pytest.mark.parametrize("backend", ["bat", "mkl"])
+def test_mmu(benchmark, relation, backend):
+    square = uniform_relation(N_COLS, N_COLS, seed=8, key="id2")
+    config = make_config(prefer=backend)
+    benchmark(lambda: execute_rma("mmu", relation, "id", square, "id2",
+                                  config=config))
+
+
+def test_policy_matches_measurements(pair, relation):
+    """The auto policy must send add to BAT and qqr to MKL."""
+    config = make_config(prefer="auto")
+    assert config.policy.choose("add", (N_ROWS, N_COLS)).name == "bat"
+    assert config.policy.choose("qqr", (N_ROWS, N_COLS)).name == "mkl"

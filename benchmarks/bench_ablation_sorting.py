@@ -1,0 +1,66 @@
+"""Ablation — the §8.1 sorting classes, operation by operation.
+
+Beyond Fig. 13's add/qqr, this measures every sorting class: invariant
+operations (rnk/dsv) that skip sorting entirely, equivariant ones
+(qqr/usv/mmu), relative alignment (add/cpd/sol), and full-sort operations
+(inv/tra) where the optimization cannot apply.
+"""
+
+import pytest
+
+from conftest import make_config
+from repro.core.ops import execute_rma
+from repro.data.synthetic import order_heavy_relation, order_names
+from repro.relational import rename
+
+N_ROWS = 20_000
+N_ORDER = 20
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return order_heavy_relation(N_ROWS, N_ORDER, seed=9)
+
+
+@pytest.fixture(scope="module")
+def by(relation):
+    return order_names(relation)
+
+
+@pytest.mark.benchmark(group="ablation-sorting-invariant")
+@pytest.mark.parametrize("optimize", [False, True],
+                         ids=["full-sort", "no-sort"])
+def test_rnk(benchmark, relation, by, optimize):
+    config = make_config(optimize=optimize)
+    benchmark(lambda: execute_rma("rnk", relation, by, config=config))
+
+
+@pytest.mark.benchmark(group="ablation-sorting-invariant")
+@pytest.mark.parametrize("optimize", [False, True],
+                         ids=["full-sort", "no-sort"])
+def test_dsv(benchmark, relation, by, optimize):
+    config = make_config(optimize=optimize)
+    benchmark(lambda: execute_rma("dsv", relation, by, config=config))
+
+
+@pytest.mark.benchmark(group="ablation-sorting-relative")
+@pytest.mark.parametrize("optimize", [False, True],
+                         ids=["full-sort", "relative"])
+def test_sub(benchmark, relation, by, optimize):
+    other = rename(order_heavy_relation(N_ROWS, N_ORDER, seed=10),
+                   {name: f"s_{name}" for name in by})
+    other_by = [f"s_{name}" for name in by]
+    config = make_config(optimize=optimize)
+    benchmark(lambda: execute_rma("sub", relation, by, other, other_by,
+                                  config=config))
+
+
+@pytest.mark.benchmark(group="ablation-sorting-equivariant")
+@pytest.mark.parametrize("optimize", [False, True],
+                         ids=["full-sort", "no-sort"])
+def test_usv_names_only_sort(benchmark, optimize):
+    # usv requires |U| = 1; single order column, value sort only.
+    relation = order_heavy_relation(300, 1, seed=9)
+    config = make_config(optimize=optimize)
+    benchmark(lambda: execute_rma("usv", relation, ["k0"],
+                                  config=config))

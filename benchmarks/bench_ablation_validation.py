@@ -1,0 +1,79 @@
+"""Ablation — the cost of key validation.
+
+The order schema of a relational matrix operation must form a key (paper
+footnote 2).  The library validates this by default (`validate_keys=True`);
+the paper's MonetDB implementation relies on declared constraints instead.
+This ablation measures what the safety check costs per operation class, and
+justifies why the benchmark harness disables it (as the paper effectively
+does).
+"""
+
+import pytest
+
+from conftest import make_config
+from repro.core import RmaConfig
+from repro.core.ops import execute_rma
+from repro.data.synthetic import uniform_pair, uniform_relation
+from repro.linalg.policy import BackendPolicy
+
+N_ROWS = 50_000
+
+
+def config_with_validation(validate: bool) -> RmaConfig:
+    return RmaConfig(policy=BackendPolicy(), optimize_sorting=True,
+                     validate_keys=validate)
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return uniform_relation(N_ROWS, 10, seed=6)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return uniform_pair(N_ROWS, 10, seed=7)
+
+
+@pytest.mark.benchmark(group="ablation-validation-qqr")
+@pytest.mark.parametrize("validate", [True, False],
+                         ids=["validated", "unchecked"])
+def test_qqr_key_validation(benchmark, relation, validate):
+    config = config_with_validation(validate)
+    benchmark(lambda: execute_rma("qqr", relation, "id", config=config))
+
+
+@pytest.mark.benchmark(group="ablation-validation-add")
+@pytest.mark.parametrize("validate", [True, False],
+                         ids=["validated", "unchecked"])
+def test_add_key_validation(benchmark, pair, validate):
+    r, s = pair
+    config = config_with_validation(validate)
+    benchmark(lambda: execute_rma("add", r, "id1", s, "id2",
+                                  config=config))
+
+
+@pytest.mark.benchmark(group="ablation-validation-rnk")
+@pytest.mark.parametrize("validate", [True, False],
+                         ids=["validated", "unchecked"])
+def test_rnk_exempt_from_validation(benchmark, relation, validate):
+    # rnk is order-invariant: the key requirement does not apply, so both
+    # variants should measure the same.
+    config = config_with_validation(validate)
+    benchmark(lambda: execute_rma("rnk", relation, "id", config=config))
+
+
+def test_validation_catches_duplicates(relation):
+    from repro.errors import KeyViolationError
+    from repro.relational import Relation
+    import numpy as np
+    bad = Relation.from_columns({
+        "id": np.zeros(10, dtype=np.int64),
+        "x": np.arange(10, dtype=np.float64),
+        "y": np.ones(10)})
+    with pytest.raises(KeyViolationError):
+        execute_rma("qqr", bad, "id",
+                    config=config_with_validation(True))
+    # unchecked mode computes anyway (the paper's constraint-trusting mode)
+    out = execute_rma("qqr", bad, "id",
+                      config=config_with_validation(False))
+    assert out.nrows == 10

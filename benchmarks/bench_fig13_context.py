@@ -1,0 +1,77 @@
+"""Fig. 13 — maintaining contextual information.
+
+Cost of handling order parts as the order schema grows, with and without
+the §8.1 sorting optimizations.  Claim: the optimized variants (relative
+sorting for add, no sorting for qqr) clearly outperform the full-sort
+variants, and qqr without sorting is flat in the number of order columns.
+"""
+
+import pytest
+
+from conftest import make_config
+from repro.core.ops import execute_rma
+from repro.data.synthetic import order_heavy_relation, order_names
+from repro.relational import rename
+
+N_ROWS = 5_000
+N_ORDER = 100
+
+
+@pytest.fixture(scope="module")
+def order_pair():
+    r = order_heavy_relation(N_ROWS, N_ORDER, seed=9)
+    by = order_names(r)
+    s = rename(order_heavy_relation(N_ROWS, N_ORDER, seed=9),
+               {name: f"s_{name}" for name in by})
+    s_by = [f"s_{name}" for name in by]
+    return r, by, s, s_by
+
+
+@pytest.mark.benchmark(group="fig13-add")
+def test_add_full_sorting(benchmark, order_pair):
+    r, by, s, s_by = order_pair
+    config = make_config(optimize=False)
+    benchmark(lambda: execute_rma("add", r, by, s, s_by, config=config))
+
+
+@pytest.mark.benchmark(group="fig13-add")
+def test_add_relative_sorting(benchmark, order_pair):
+    r, by, s, s_by = order_pair
+    config = make_config(optimize=True)
+    benchmark(lambda: execute_rma("add", r, by, s, s_by, config=config))
+
+
+@pytest.mark.benchmark(group="fig13-qqr")
+def test_qqr_full_sorting(benchmark, order_pair):
+    r, by, _, _ = order_pair
+    config = make_config(optimize=False)
+    benchmark(lambda: execute_rma("qqr", r, by, config=config))
+
+
+@pytest.mark.benchmark(group="fig13-qqr")
+def test_qqr_without_sorting(benchmark, order_pair):
+    r, by, _, _ = order_pair
+    config = make_config(optimize=True)
+    benchmark(lambda: execute_rma("qqr", r, by, config=config))
+
+
+def test_shape_optimized_wins(order_pair):
+    """Non-timing assertion of the Fig. 13 claim at this scale."""
+    import time
+
+    r, by, s, s_by = order_pair
+
+    def best_of(func, n=3):
+        func()
+        times = []
+        for _ in range(n):
+            start = time.perf_counter()
+            func()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    slow = best_of(lambda: execute_rma(
+        "qqr", r, by, config=make_config(optimize=False)))
+    fast = best_of(lambda: execute_rma(
+        "qqr", r, by, config=make_config(optimize=True)))
+    assert fast < slow, (fast, slow)

@@ -1,0 +1,72 @@
+"""Fig. 15 — Trips workload (ordinary linear regression), all systems.
+
+Claims: RMA+ and AIDA outperform R and MADlib; RMA+ beats AIDA because
+AIDA must convert non-numeric columns (dates/times) when crossing into
+Python; RMA+MKL beats RMA+BAT on this complex matrix part (Fig. 15b).
+"""
+
+import pytest
+
+from repro.workloads.trips_olr import (
+    TripsDataset,
+    run_aida,
+    run_madlib,
+    run_r,
+    run_rma,
+)
+
+MIN_COUNT = 10
+
+
+@pytest.fixture(scope="module")
+def dataset(trips, stations):
+    return TripsDataset(trips, stations, 2014, 2015, min_count=MIN_COUNT)
+
+
+@pytest.fixture(scope="module")
+def small_dataset(trips, stations):
+    import repro.relational.ops as rel_ops
+    small = rel_ops.limit(trips, 8_000)
+    return TripsDataset(small, stations, 2014, 2017, min_count=5)
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_trips_rma_mkl(benchmark, dataset):
+    benchmark.pedantic(lambda: run_rma(dataset, "mkl"), rounds=3,
+                       iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_trips_rma_bat(benchmark, dataset):
+    benchmark.pedantic(lambda: run_rma(dataset, "bat"), rounds=3,
+                       iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_trips_aida(benchmark, dataset):
+    benchmark.pedantic(lambda: run_aida(dataset), rounds=3, iterations=1,
+                       warmup_rounds=1)
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_trips_r(benchmark, dataset, tmp_path_factory):
+    csv_dir = str(tmp_path_factory.mktemp("r_csvs"))
+    benchmark.pedantic(lambda: run_r(dataset, csv_dir=csv_dir), rounds=3,
+                       iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_trips_madlib(benchmark, small_dataset):
+    benchmark.pedantic(lambda: run_madlib(small_dataset), rounds=2,
+                       iterations=1, warmup_rounds=0)
+
+
+def test_fig15_shape(dataset):
+    """RMA+ total < AIDA total (non-numeric transfer) and both beat R."""
+    rma = run_rma(dataset, "mkl")
+    aida = run_aida(dataset)
+    r = run_r(dataset)
+    assert rma.agrees_with(aida, rtol=1e-5)
+    assert rma.agrees_with(r, rtol=1e-5)
+    assert rma.times.total < aida.times.total
+    assert aida.times.total < r.times.total

@@ -1,0 +1,67 @@
+"""Fig. 16 — Journeys workload (multiple linear regression), all systems.
+
+Claims: with purely numeric data AIDA's relational part is comparable to
+RMA+ (pointer transfer is free); R pays for single-core merges; MADlib is
+slowest, spending most of its relational time on row-wise distance
+computation; RMA+MKL beats RMA+BAT on the matrix part.
+"""
+
+import pytest
+
+from repro.workloads.journeys_mlr import (
+    JourneysDataset,
+    run_aida,
+    run_madlib,
+    run_r,
+    run_rma,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset(numeric_trips, stations):
+    return JourneysDataset(numeric_trips, stations, n_legs=3,
+                           min_count=30)
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_journeys_rma_mkl(benchmark, dataset):
+    benchmark.pedantic(lambda: run_rma(dataset, "mkl"), rounds=3,
+                       iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_journeys_rma_bat(benchmark, dataset):
+    benchmark.pedantic(lambda: run_rma(dataset, "bat"), rounds=3,
+                       iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_journeys_aida(benchmark, dataset):
+    benchmark.pedantic(lambda: run_aida(dataset), rounds=3, iterations=1,
+                       warmup_rounds=1)
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_journeys_r(benchmark, dataset):
+    benchmark.pedantic(lambda: run_r(dataset), rounds=3, iterations=1,
+                       warmup_rounds=1)
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_journeys_madlib(benchmark, numeric_trips, stations):
+    small = JourneysDataset(numeric_trips, stations, n_legs=2,
+                            min_count=40)
+    benchmark.pedantic(lambda: run_madlib(small), rounds=2, iterations=1,
+                       warmup_rounds=0)
+
+
+def test_fig16_shape(dataset):
+    """Numeric-only data: AIDA's prep is within ~2x of RMA+'s, and R's
+    merge-based prep is slower than both."""
+    rma = run_rma(dataset, "mkl")
+    aida = run_aida(dataset)
+    r = run_r(dataset)
+    assert rma.agrees_with(aida, rtol=1e-5)
+    assert rma.agrees_with(r, rtol=1e-4)
+    assert aida.times.prep < 2.0 * rma.times.prep + 0.05
+    assert r.times.prep > aida.times.prep

@@ -1,0 +1,69 @@
+"""Fig. 18 — Trip count via matrix addition, all systems.
+
+Claims: add is a linear operation, so RMA+ runs it as the no-copy BAT
+implementation and beats AIDA (Python round trip) and R (data.table ->
+matrix -> data.table); RMA+BAT beats RMA+MKL in all settings because the
+copy to the MKL format cannot be amortized.
+"""
+
+import pytest
+
+from repro.workloads.trip_count import (
+    make_dataset,
+    run_aida,
+    run_madlib,
+    run_r,
+    run_rma,
+)
+
+N_RIDERS = 100_000
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_dataset(N_RIDERS)
+
+
+@pytest.mark.benchmark(group="fig18")
+def test_tripcount_rma_bat(benchmark, dataset):
+    benchmark.pedantic(lambda: run_rma(dataset, "bat"), rounds=5,
+                       iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.benchmark(group="fig18")
+def test_tripcount_rma_mkl(benchmark, dataset):
+    benchmark.pedantic(lambda: run_rma(dataset, "mkl"), rounds=5,
+                       iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.benchmark(group="fig18")
+def test_tripcount_aida(benchmark, dataset):
+    benchmark.pedantic(lambda: run_aida(dataset), rounds=5, iterations=1,
+                       warmup_rounds=1)
+
+
+@pytest.mark.benchmark(group="fig18")
+def test_tripcount_r(benchmark, dataset):
+    benchmark.pedantic(lambda: run_r(dataset), rounds=5, iterations=1,
+                       warmup_rounds=1)
+
+
+@pytest.mark.benchmark(group="fig18")
+def test_tripcount_madlib(benchmark):
+    small = make_dataset(10_000)
+    benchmark.pedantic(lambda: run_madlib(small), rounds=2, iterations=1,
+                       warmup_rounds=0)
+
+
+def test_fig18_shape(dataset):
+    """All systems agree; MADlib (row loops) is the slowest by far."""
+    bat = run_rma(dataset, "bat")
+    aida = run_aida(dataset)
+    r = run_r(dataset)
+    assert bat.agrees_with(aida, rtol=1e-9)
+    assert bat.agrees_with(r, rtol=1e-9)
+    small = make_dataset(20_000)
+    fast = run_rma(small, "bat")
+    slow = run_madlib(small)
+    assert fast.agrees_with(slow, rtol=1e-9)
+    assert slow.times.total > 3.0 * fast.times.total

@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run at CI scale (fractions of the harness sizes) so the whole
+suite finishes in minutes; ``python -m repro.bench <exp> --scale 1.0``
+produces the full paper-style tables.
+"""
+
+import pytest
+
+from repro.core import RmaConfig
+from repro.data.bixi import (
+    generate_numeric_trips,
+    generate_stations,
+    generate_trips,
+)
+from repro.data.dblp import generate_publications, generate_ranking
+from repro.data.synthetic import sparse_pair, uniform_pair, uniform_relation
+from repro.linalg.policy import BackendPolicy
+
+
+def make_config(prefer: str = "auto", optimize: bool = True) -> RmaConfig:
+    return RmaConfig(policy=BackendPolicy(prefer=prefer),
+                     optimize_sorting=optimize, validate_keys=False)
+
+
+@pytest.fixture(scope="session")
+def stations():
+    return generate_stations(40, seed=1)
+
+
+@pytest.fixture(scope="session")
+def trips(stations):
+    return generate_trips(40_000, stations, seed=2)
+
+
+@pytest.fixture(scope="session")
+def numeric_trips(stations):
+    return generate_numeric_trips(40_000, stations, seed=3)
+
+
+@pytest.fixture(scope="session")
+def publications():
+    return generate_publications(4_000, 40, seed=12)
+
+
+@pytest.fixture(scope="session")
+def ranking():
+    return generate_ranking(40, seed=11)
+
+
+@pytest.fixture(scope="session")
+def pair_100k():
+    return uniform_pair(100_000, 10, seed=7)
+
+
+@pytest.fixture(scope="session")
+def qqr_relation():
+    return uniform_relation(20_000, 10, seed=6)

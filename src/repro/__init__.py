@@ -1,0 +1,30 @@
+"""repro — relational matrix algebra (RMA) in a column store.
+
+Reproduction of Dolmatova, Augsten, Böhlen: "A Relational Matrix Algebra
+and its Implementation in a Column Store" (SIGMOD 2020).
+
+The three entry points most users need:
+
+>>> from repro import Relation, Session, rma
+>>> r = Relation.from_rows(["k", "x", "y"], [("a", 1.0, 2.0),
+...                                          ("b", 3.0, 4.0)])
+>>> Session()  # SQL front end with the RMA FROM-clause extension
+Session(...)
+>>> rma.tra(r, by="k").names
+['C', 'a', 'b']
+
+Subpackages: :mod:`repro.bat` (column store), :mod:`repro.relational`
+(relational algebra), :mod:`repro.linalg` (kernel backends),
+:mod:`repro.core` (the RMA operations), :mod:`repro.sql` (SQL),
+:mod:`repro.baselines`, :mod:`repro.data`, :mod:`repro.workloads`,
+:mod:`repro.bench`.
+"""
+
+from repro import core as rma
+from repro.core import RmaConfig
+from repro.relational.relation import Relation
+from repro.sql.session import Session
+
+__version__ = "1.0.0"
+
+__all__ = ["Relation", "Session", "RmaConfig", "rma", "__version__"]

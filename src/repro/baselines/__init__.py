@@ -1,0 +1,23 @@
+"""Competitor-system simulations for the comparative experiments.
+
+Each baseline rebuilds the *cost structure* of the system the paper
+compares against (see DESIGN.md §2 for the substitution argument):
+
+* :mod:`repro.baselines.rlike`  — R (data.table + matrix): fast BLAS-backed
+  matrix kernels, but single-core pure-python joins, no optimizer, and an
+  explicit frame-to-matrix conversion step;
+* :mod:`repro.baselines.aida`   — AIDA: relational part on the engine,
+  matrix part "in Python" with zero-copy handover for numeric columns and
+  per-element conversion for non-numeric ones;
+* :mod:`repro.baselines.madlib` — MADlib/PostgreSQL: a row store with
+  single-threaded UDF matrix operations over (row_id, array) tables;
+* :mod:`repro.baselines.scidb`  — SciDB: chunked arrays where element-wise
+  operations must first run an *array join* to align cell coordinates.
+"""
+
+from repro.baselines.rlike.frame import RFrame
+from repro.baselines.aida import AidaTable
+from repro.baselines.madlib import MadlibDatabase
+from repro.baselines.scidb import SciDbArray
+
+__all__ = ["RFrame", "AidaTable", "MadlibDatabase", "SciDbArray"]

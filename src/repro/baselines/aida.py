@@ -1,0 +1,125 @@
+"""The AIDA baseline (D'silva et al., VLDB 2018).
+
+AIDA runs relational operations in MonetDB and matrix operations in Python
+over NumPy arrays.  Its signature property (paper §8.6): *numeric* MonetDB
+columns are handed to Python by pointer (zero copy), but non-numeric
+columns (dates, times, strings) have incompatible storage formats and must
+be converted element by element — which is why AIDA loses to RMA+ on the
+trips workload (Fig. 15) but matches it on the numeric journeys workload
+(Fig. 16).
+
+``AidaTable`` wraps an engine relation; ``to_python`` performs the
+transfer, ``from_python`` rebuilds a MonetDB-side table from Python arrays
+(always a copy — "Data copying is still needed to pass MonetDB results to
+NumPy since MonetDB does not guarantee that multiple columns are contiguous
+in memory", §2).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.bat.bat import BAT, DataType
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+
+
+class TransferStats:
+    """Bytes and seconds spent moving data between engine and Python."""
+
+    def __init__(self):
+        self.zero_copy_columns = 0
+        self.converted_columns = 0
+        self.seconds = 0.0
+
+    def reset(self) -> None:
+        self.__init__()
+
+
+class AidaTable:
+    """A TabularData-like handle over an engine relation."""
+
+    def __init__(self, relation: Relation,
+                 stats: TransferStats | None = None):
+        self.relation = relation
+        self.stats = stats or TransferStats()
+
+    # -- relational side (runs in the engine, like AIDA's SQL pushdown) -----
+
+    def filter(self, mask: np.ndarray) -> "AidaTable":
+        import repro.relational.ops as rel_ops
+        return AidaTable(rel_ops.select_mask(self.relation, mask),
+                         self.stats)
+
+    def project(self, names: Sequence[str]) -> "AidaTable":
+        import repro.relational.ops as rel_ops
+        return AidaTable(rel_ops.project(self.relation, names), self.stats)
+
+    def join(self, other: "AidaTable", left_on: Sequence[str],
+             right_on: Sequence[str]) -> "AidaTable":
+        from repro.relational.joins import join
+        return AidaTable(join(self.relation, other.relation,
+                              list(left_on), list(right_on),
+                              drop_right_keys=True), self.stats)
+
+    # -- the Python boundary --------------------------------------------------
+
+    def to_python(self, names: Sequence[str] | None = None) \
+            -> dict[str, np.ndarray]:
+        """Hand columns to Python.
+
+        Numeric columns are passed by pointer (the returned array *is* the
+        BAT tail).  Non-numeric columns are converted value by value into
+        python objects, exactly the cost AIDA pays for dates/times/strings.
+        """
+        start = time.perf_counter()
+        out: dict[str, np.ndarray] = {}
+        for name in (names or self.relation.names):
+            bat = self.relation.column(name)
+            if bat.dtype.is_numeric:
+                out[name] = bat.tail  # zero copy: shared buffer
+                self.stats.zero_copy_columns += 1
+            else:
+                out[name] = np.array(bat.python_values(), dtype=object)
+                self.stats.converted_columns += 1
+        self.stats.seconds += time.perf_counter() - start
+        return out
+
+    @classmethod
+    def from_python(cls, data: dict[str, np.ndarray],
+                    stats: TransferStats | None = None) -> "AidaTable":
+        """Materialize Python arrays as an engine table (always copies)."""
+        stats = stats or TransferStats()
+        start = time.perf_counter()
+        attributes = []
+        columns = []
+        for name, values in data.items():
+            values = np.asarray(values)
+            if values.dtype == object:
+                bat = BAT.from_values(list(values))
+            elif np.issubdtype(values.dtype, np.integer):
+                bat = BAT(DataType.INT, values.astype(np.int64))
+            else:
+                bat = BAT(DataType.DBL, values.astype(np.float64))
+            attributes.append(Attribute(name, bat.dtype))
+            columns.append(bat)
+        stats.seconds += time.perf_counter() - start
+        return cls(Relation(Schema(attributes), columns), stats)
+
+    # -- convenience ----------------------------------------------------------
+
+    @property
+    def nrows(self) -> int:
+        return self.relation.nrows
+
+    def matrix(self, names: Sequence[str]) -> np.ndarray:
+        """Numeric columns as a 2-D array for NumPy-side linear algebra.
+
+        Stacking into the dense layout NumPy kernels require is a copy —
+        AIDA's pointer sharing only covers 1-D column access.
+        """
+        arrays = self.to_python(names)
+        return np.column_stack([arrays[n] for n in names])

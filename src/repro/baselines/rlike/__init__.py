@@ -1,0 +1,12 @@
+"""The "R" baseline: data.table-like frames plus a matrix type."""
+
+from repro.baselines.rlike.frame import RFrame, read_csv_r
+from repro.baselines.rlike.matrix import (
+    as_character_matrix,
+    as_matrix,
+    character_matrix_join,
+    matrix_to_frame,
+)
+
+__all__ = ["RFrame", "read_csv_r", "as_matrix", "matrix_to_frame",
+           "as_character_matrix", "character_matrix_join"]

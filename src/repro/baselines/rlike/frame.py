@@ -1,0 +1,206 @@
+"""A data.table-like frame, with R's performance profile.
+
+What is fast in R stays fast here (vectorized filtering, grouped
+aggregation — data.table's C kernels are modeled by numpy), and what is
+slow in R stays slow (paper §8.6: "The join implementation of R does not
+leverage multiple cores, and R lacks a query optimizer"): ``merge`` is a
+single-core, row-at-a-time hash join, and operations are executed exactly
+in the order written.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class RFrame:
+    """Ordered named columns (numpy arrays / object arrays)."""
+
+    def __init__(self, columns: dict[str, np.ndarray]):
+        self.columns: dict[str, np.ndarray] = {}
+        n = None
+        for name, values in columns.items():
+            array = np.asarray(values)
+            if n is None:
+                n = len(array)
+            elif len(array) != n:
+                raise ReproError(
+                    f"column {name!r} has {len(array)} entries, "
+                    f"expected {n}")
+            self.columns[name] = array
+        self.n = n or 0
+
+    # -- basics -------------------------------------------------------------
+
+    @property
+    def names(self) -> list[str]:
+        return list(self.columns)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+    def copy(self) -> "RFrame":
+        return RFrame({k: v.copy() for k, v in self.columns.items()})
+
+    @classmethod
+    def from_relation(cls, relation) -> "RFrame":
+        """Import from the engine (used to hand baselines the same data)."""
+        columns = {}
+        for name in relation.names:
+            bat = relation.column(name)
+            if bat.dtype.is_numeric:
+                columns[name] = np.asarray(bat.tail, dtype=np.float64) \
+                    if bat.dtype.value == "double" else bat.tail.copy()
+            else:
+                columns[name] = np.array(bat.python_values(), dtype=object)
+        return cls(columns)
+
+    # -- vectorized operations (fast in R) ------------------------------------
+
+    def subset(self, mask: np.ndarray) -> "RFrame":
+        """``dt[mask]`` — vectorized filtering."""
+        return RFrame({k: v[mask] for k, v in self.columns.items()})
+
+    def select(self, names: Sequence[str]) -> "RFrame":
+        return RFrame({n: self.columns[n] for n in names})
+
+    def with_column(self, name: str, values: np.ndarray) -> "RFrame":
+        """``dt[, name := values]``."""
+        out = dict(self.columns)
+        out[name] = np.asarray(values)
+        return RFrame(out)
+
+    def order_by(self, name: str) -> "RFrame":
+        positions = np.argsort(self.columns[name], kind="stable")
+        return RFrame({k: v[positions] for k, v in self.columns.items()})
+
+    def aggregate(self, by: Sequence[str],
+                  aggregations: dict[str, tuple[str, str]]) -> "RFrame":
+        """``dt[, .(out = fun(col)), by = keys]`` (data.table GForce).
+
+        ``aggregations`` maps output name -> (function, column); functions:
+        sum, mean, count, min, max.
+        """
+        codes = self._group_codes(by)
+        uniques, first, inverse = np.unique(codes, return_index=True,
+                                            return_inverse=True)
+        ngroups = len(uniques)
+        out: dict[str, np.ndarray] = {}
+        for key in by:
+            out[key] = self.columns[key][first]
+        for out_name, (func, column) in aggregations.items():
+            if func == "count":
+                out[out_name] = np.bincount(inverse, minlength=ngroups)
+                continue
+            values = self.columns[column].astype(np.float64)
+            if func == "sum":
+                out[out_name] = np.bincount(inverse, weights=values,
+                                            minlength=ngroups)
+            elif func == "mean":
+                sums = np.bincount(inverse, weights=values,
+                                   minlength=ngroups)
+                counts = np.bincount(inverse, minlength=ngroups)
+                out[out_name] = sums / counts
+            elif func in ("min", "max"):
+                fill = np.inf if func == "min" else -np.inf
+                acc = np.full(ngroups, fill)
+                ufunc = np.minimum if func == "min" else np.maximum
+                ufunc.at(acc, inverse, values)
+                out[out_name] = acc
+            else:
+                raise ReproError(f"unsupported aggregate {func!r}")
+        return RFrame(out)
+
+    def _group_codes(self, by: Sequence[str]) -> np.ndarray:
+        codes: np.ndarray | None = None
+        for name in by:
+            _, col_codes = np.unique(self.columns[name],
+                                     return_inverse=True)
+            if codes is None:
+                codes = col_codes.astype(np.int64)
+            else:
+                k = int(col_codes.max()) + 1 if len(col_codes) else 1
+                _, codes = np.unique(codes * k + col_codes,
+                                     return_inverse=True)
+                codes = codes.astype(np.int64)
+        assert codes is not None
+        return codes
+
+    # -- the slow parts (also slow in R) ---------------------------------------
+
+    def merge(self, other: "RFrame", by: Sequence[str],
+              other_by: Sequence[str] | None = None,
+              suffix: str = "_y") -> "RFrame":
+        """``merge(x, y, by=...)`` — single-core row-at-a-time hash join.
+
+        R's merge builds an index and probes it one row at a time on a
+        single core; this python loop has the same profile.
+        """
+        other_by = list(other_by or by)
+        by = list(by)
+        index: dict[tuple, list[int]] = {}
+        key_columns = [other.columns[k] for k in other_by]
+        for j in range(other.n):
+            key = tuple(col[j] for col in key_columns)
+            index.setdefault(key, []).append(j)
+        left_rows: list[int] = []
+        right_rows: list[int] = []
+        probe_columns = [self.columns[k] for k in by]
+        for i in range(self.n):
+            key = tuple(col[i] for col in probe_columns)
+            for j in index.get(key, ()):
+                left_rows.append(i)
+                right_rows.append(j)
+        lpos = np.array(left_rows, dtype=np.int64)
+        rpos = np.array(right_rows, dtype=np.int64)
+        out: dict[str, np.ndarray] = {}
+        for name, values in self.columns.items():
+            out[name] = values[lpos] if len(lpos) else values[:0]
+        for name, values in other.columns.items():
+            if name in other_by:
+                continue
+            target = name if name not in out else name + suffix
+            out[target] = values[rpos] if len(rpos) else values[:0]
+        return RFrame(out)
+
+    def apply_rows(self, func: Callable[..., Any],
+                   arguments: Sequence[str], out: str) -> "RFrame":
+        """Row-wise apply() — not vectorized, as in R."""
+        columns = [self.columns[a] for a in arguments]
+        values = np.array([func(*(col[i] for col in columns))
+                           for i in range(self.n)])
+        return self.with_column(out, values)
+
+
+def read_csv_r(path: str | Path) -> RFrame:
+    """``read.csv`` — a row-at-a-time parser (R's loader is the dark bar of
+    Fig. 15a)."""
+    with open(path, "r", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        rows = [row for row in reader]
+    columns: dict[str, np.ndarray] = {}
+    for i, name in enumerate(header):
+        raw = [row[i] for row in rows]
+        parsed: list[Any] = []
+        numeric = True
+        for cell in raw:
+            try:
+                parsed.append(float(cell))
+            except ValueError:
+                numeric = False
+                break
+        if numeric:
+            columns[name] = np.array(parsed, dtype=np.float64)
+        else:
+            columns[name] = np.array(raw, dtype=object)
+    return RFrame(columns)

@@ -1,0 +1,33 @@
+"""Column-store substrate: BATs (binary association tables).
+
+This package is the stand-in for the MonetDB kernel used by the paper.  A
+:class:`~repro.bat.bat.BAT` is one column: a dense head of object identifiers
+(OIDs) plus a typed tail of values.  Relational and matrix operators are
+expressed as sequences of whole-column BAT operations (see
+:mod:`repro.bat.kernels`), mirroring how MonetDB executes queries.
+"""
+
+from repro.bat.bat import BAT, DataType, NIL_INT
+from repro.bat.kernels import (
+    binop,
+    compare,
+    fetchjoin,
+    materialize,
+    thetaselect,
+)
+from repro.bat.sorting import check_key, order_by
+from repro.bat.catalog import Catalog
+
+__all__ = [
+    "BAT",
+    "DataType",
+    "NIL_INT",
+    "binop",
+    "compare",
+    "fetchjoin",
+    "materialize",
+    "thetaselect",
+    "order_by",
+    "check_key",
+    "Catalog",
+]

@@ -1,0 +1,423 @@
+r"""The BAT (binary association table) column type.
+
+MonetDB stores every relation column as a BAT: a two-column table whose head
+holds object identifiers (OIDs) and whose tail holds the attribute values.
+All tuples of a relation share OID values across its BATs, so a tuple is the
+concatenation of the tail values with the same OID.
+
+Our BATs use a *dense* head (``hseqbase .. hseqbase + n - 1``), which is what
+MonetDB uses for base columns; the head is therefore implicit and only the
+tail is materialized as a numpy array.  BATs are immutable: every operation
+returns a new BAT, which keeps alignment reasoning trivial.
+
+Logical types map onto physical numpy storage:
+
+========  ==================  ====================================
+logical   numpy tail           notes
+========  ==================  ====================================
+INT       int64                nil is ``NIL_INT`` (int64 min)
+DBL       float64              nil is NaN
+BOOL      bool\_
+STR       object (str)         nil is ``None``; plays the role of
+                               MonetDB's string heap
+DATE      int64                proleptic-Gregorian ordinal (days)
+TIME      int64                seconds since midnight
+OID       int64                positions / object identifiers
+========  ==================  ====================================
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import AlignmentError, BatError, TypeMismatchError
+
+NIL_INT = np.iinfo(np.int64).min
+"""Sentinel used as the nil (SQL NULL) value in INT/DATE/TIME tails."""
+
+
+class DataType(enum.Enum):
+    """Logical column types supported by the engine."""
+
+    INT = "int"
+    DBL = "double"
+    BOOL = "boolean"
+    STR = "string"
+    DATE = "date"
+    TIME = "time"
+    OID = "oid"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this type may appear in an application schema."""
+        return self in (DataType.INT, DataType.DBL)
+
+    @property
+    def is_orderable(self) -> bool:
+        """Whether values of this type may appear in an order schema."""
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DataType.{self.name}"
+
+
+_NUMPY_DTYPES = {
+    DataType.INT: np.dtype(np.int64),
+    DataType.DBL: np.dtype(np.float64),
+    DataType.BOOL: np.dtype(np.bool_),
+    DataType.STR: np.dtype(object),
+    DataType.DATE: np.dtype(np.int64),
+    DataType.TIME: np.dtype(np.int64),
+    DataType.OID: np.dtype(np.int64),
+}
+
+_EPOCH = _dt.date(1970, 1, 1).toordinal()
+
+
+def date_to_int(value: _dt.date) -> int:
+    """Encode a date as days since 1970-01-01 (the DATE tail encoding)."""
+    return value.toordinal() - _EPOCH
+
+
+def int_to_date(value: int) -> _dt.date:
+    """Decode a DATE tail value back into a :class:`datetime.date`."""
+    return _dt.date.fromordinal(int(value) + _EPOCH)
+
+
+def time_to_int(value: _dt.time) -> int:
+    """Encode a time of day as seconds since midnight (the TIME encoding)."""
+    return value.hour * 3600 + value.minute * 60 + value.second
+
+
+def int_to_time(value: int) -> _dt.time:
+    """Decode a TIME tail value back into a :class:`datetime.time`."""
+    value = int(value)
+    return _dt.time(value // 3600, (value % 3600) // 60, value % 60)
+
+
+def infer_type(values: Iterable[Any]) -> DataType:
+    """Infer the logical type of a sequence of python values.
+
+    Used by relation literals and the CSV reader.  The first non-nil value
+    decides; an all-nil column defaults to STR.
+    """
+    for v in values:
+        if v is None:
+            continue
+        if isinstance(v, bool) or isinstance(v, np.bool_):
+            return DataType.BOOL
+        if isinstance(v, (int, np.integer)):
+            return DataType.INT
+        if isinstance(v, (float, np.floating)):
+            return DataType.DBL
+        if isinstance(v, _dt.datetime):
+            raise BatError("datetime values are not supported; "
+                           "use separate DATE and TIME columns")
+        if isinstance(v, _dt.date):
+            return DataType.DATE
+        if isinstance(v, _dt.time):
+            return DataType.TIME
+        if isinstance(v, str):
+            return DataType.STR
+        raise BatError(f"cannot infer a column type for value {v!r} "
+                       f"of type {type(v).__name__}")
+    return DataType.STR
+
+
+def _encode_value(value: Any, dtype: DataType) -> Any:
+    """Encode one python value into its tail representation."""
+    if value is None:
+        if dtype is DataType.DBL:
+            return np.nan
+        if dtype in (DataType.INT, DataType.DATE, DataType.TIME):
+            return NIL_INT
+        if dtype is DataType.STR:
+            return None
+        raise BatError(f"type {dtype.value} has no nil representation")
+    if dtype is DataType.DATE:
+        if isinstance(value, _dt.date):
+            return date_to_int(value)
+        return int(value)
+    if dtype is DataType.TIME:
+        if isinstance(value, _dt.time):
+            return time_to_int(value)
+        return int(value)
+    if dtype is DataType.STR:
+        return str(value)
+    if dtype is DataType.BOOL:
+        return bool(value)
+    if dtype is DataType.INT or dtype is DataType.OID:
+        return int(value)
+    if dtype is DataType.DBL:
+        return float(value)
+    raise BatError(f"unhandled type {dtype}")  # pragma: no cover
+
+
+class BAT:
+    """One immutable column: dense OID head plus a typed value tail."""
+
+    __slots__ = ("dtype", "tail", "hseqbase")
+
+    def __init__(self, dtype: DataType, tail: np.ndarray, hseqbase: int = 0):
+        if not isinstance(dtype, DataType):
+            raise TypeMismatchError(f"expected a DataType, got {dtype!r}")
+        tail = np.asarray(tail)
+        expected = dtype.numpy_dtype
+        if tail.dtype != expected:
+            raise TypeMismatchError(
+                f"tail dtype {tail.dtype} does not match logical type "
+                f"{dtype.value} (expected {expected})")
+        if tail.ndim != 1:
+            raise BatError(f"tail must be one-dimensional, got {tail.ndim}")
+        self.dtype = dtype
+        self.tail = tail
+        self.hseqbase = int(hseqbase)
+        # Immutability guard: shared numpy buffers must not be written to.
+        self.tail.setflags(write=False)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_values(cls, values: Sequence[Any],
+                    dtype: DataType | None = None,
+                    hseqbase: int = 0) -> "BAT":
+        """Build a BAT from python values, inferring the type if needed."""
+        values = list(values)
+        if dtype is None:
+            dtype = infer_type(values)
+        encoded = [_encode_value(v, dtype) for v in values]
+        tail = np.array(encoded, dtype=dtype.numpy_dtype)
+        if len(values) == 0:
+            tail = np.empty(0, dtype=dtype.numpy_dtype)
+        return cls(dtype, tail, hseqbase)
+
+    @classmethod
+    def from_array(cls, array: np.ndarray, dtype: DataType | None = None,
+                   hseqbase: int = 0) -> "BAT":
+        """Wrap a numpy array as a BAT, casting to the canonical tail dtype."""
+        array = np.asarray(array)
+        if dtype is None:
+            if np.issubdtype(array.dtype, np.bool_):
+                dtype = DataType.BOOL
+            elif np.issubdtype(array.dtype, np.integer):
+                dtype = DataType.INT
+            elif np.issubdtype(array.dtype, np.floating):
+                dtype = DataType.DBL
+            elif array.dtype == object:
+                dtype = DataType.STR
+            else:
+                raise TypeMismatchError(
+                    f"cannot wrap numpy dtype {array.dtype} as a BAT")
+        target = dtype.numpy_dtype
+        if array.dtype != target:
+            array = array.astype(target)
+        return cls(dtype, array, hseqbase)
+
+    @classmethod
+    def dense(cls, n: int, hseqbase: int = 0, start: int = 0) -> "BAT":
+        """A dense OID BAT ``start .. start + n - 1`` (MonetDB void column)."""
+        return cls(DataType.OID, np.arange(start, start + n, dtype=np.int64),
+                   hseqbase)
+
+    @classmethod
+    def constant(cls, value: Any, n: int, dtype: DataType | None = None,
+                 hseqbase: int = 0) -> "BAT":
+        """A BAT with ``n`` copies of ``value``."""
+        if dtype is None:
+            dtype = infer_type([value])
+        encoded = _encode_value(value, dtype)
+        tail = np.empty(n, dtype=dtype.numpy_dtype)
+        tail[:] = encoded
+        return cls(dtype, tail, hseqbase)
+
+    # -- basic accessors ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tail)
+
+    @property
+    def count(self) -> int:
+        """Number of entries (MonetDB BATcount)."""
+        return len(self.tail)
+
+    def sel(self, i: int) -> Any:
+        """Return the raw tail value at position ``i`` (paper's ``sel``).
+
+        This is the single-element access the paper's kernel algorithms try
+        to minimize; everything else should use whole-column operations.
+        """
+        if not 0 <= i < len(self.tail):
+            raise BatError(f"sel position {i} out of range 0..{len(self) - 1}")
+        value = self.tail[i]
+        if isinstance(value, np.generic):
+            return value.item()
+        return value
+
+    def python_value(self, i: int) -> Any:
+        """Return the decoded python value at position ``i`` (nil -> None)."""
+        raw = self.sel(i)
+        return self.decode_value(raw)
+
+    def decode_value(self, raw: Any) -> Any:
+        """Decode one raw tail value into a python value."""
+        if isinstance(raw, np.generic):
+            raw = raw.item()
+        if self.dtype is DataType.DBL:
+            return None if raw != raw else raw  # NaN check
+        if self.dtype in (DataType.INT, DataType.OID):
+            return None if raw == NIL_INT else raw
+        if self.dtype is DataType.DATE:
+            return None if raw == NIL_INT else int_to_date(raw)
+        if self.dtype is DataType.TIME:
+            return None if raw == NIL_INT else int_to_time(raw)
+        return raw
+
+    def python_values(self) -> list[Any]:
+        """Decode the whole tail into python values (for display / CSV)."""
+        return [self.decode_value(self.tail[i]) for i in range(len(self))]
+
+    def is_nil(self) -> np.ndarray:
+        """Boolean mask of nil entries."""
+        if self.dtype is DataType.DBL:
+            return np.isnan(self.tail)
+        if self.dtype in (DataType.INT, DataType.DATE, DataType.TIME,
+                          DataType.OID):
+            return self.tail == NIL_INT
+        if self.dtype is DataType.STR:
+            return np.array([v is None for v in self.tail], dtype=bool)
+        return np.zeros(len(self), dtype=bool)
+
+    # -- column operations (delegated to kernels) --------------------------
+
+    def fetch(self, positions: np.ndarray) -> "BAT":
+        """Leftfetchjoin: gather tail values at the given positions."""
+        positions = np.asarray(positions, dtype=np.int64)
+        return BAT(self.dtype, self.tail[positions], self.hseqbase)
+
+    def slice(self, start: int, stop: int) -> "BAT":
+        return BAT(self.dtype, self.tail[start:stop], self.hseqbase)
+
+    def append(self, other: "BAT") -> "BAT":
+        if other.dtype is not self.dtype:
+            raise TypeMismatchError(
+                f"cannot append {other.dtype.value} to {self.dtype.value}")
+        return BAT(self.dtype, np.concatenate([self.tail, other.tail]),
+                   self.hseqbase)
+
+    def cast(self, dtype: DataType) -> "BAT":
+        """Cast to another logical type (INT <-> DBL, anything -> STR)."""
+        if dtype is self.dtype:
+            return self
+        if dtype is DataType.STR:
+            values = [None if v is None else str(v)
+                      for v in self.python_values()]
+            return BAT(DataType.STR, np.array(values, dtype=object),
+                       self.hseqbase)
+        if self.dtype is DataType.INT and dtype is DataType.DBL:
+            tail = self.tail.astype(np.float64)
+            tail[self.tail == NIL_INT] = np.nan
+            return BAT(DataType.DBL, tail, self.hseqbase)
+        if self.dtype is DataType.DBL and dtype is DataType.INT:
+            tail = np.where(np.isnan(self.tail), NIL_INT,
+                            self.tail).astype(np.int64)
+            return BAT(DataType.INT, tail, self.hseqbase)
+        if self.dtype is DataType.OID and dtype is DataType.INT:
+            return BAT(DataType.INT, self.tail.copy(), self.hseqbase)
+        if self.dtype is DataType.INT and dtype is DataType.OID:
+            return BAT(DataType.OID, self.tail.copy(), self.hseqbase)
+        raise TypeMismatchError(
+            f"unsupported cast {self.dtype.value} -> {dtype.value}")
+
+    def as_float(self) -> np.ndarray:
+        """Return the tail as a float64 array (application-part view)."""
+        if self.dtype is DataType.DBL:
+            return self.tail
+        if self.dtype is DataType.INT:
+            return self.tail.astype(np.float64)
+        raise TypeMismatchError(
+            f"column of type {self.dtype.value} is not numeric")
+
+    # -- aggregates --------------------------------------------------------
+
+    def sum(self) -> float | int:
+        self._require_numeric("sum")
+        return self.tail.sum().item()
+
+    def min(self) -> Any:
+        if len(self) == 0:
+            raise BatError("min of an empty BAT")
+        if self.dtype is DataType.STR:
+            return min(v for v in self.tail)
+        return self.decode_value(self.tail.min())
+
+    def max(self) -> Any:
+        if len(self) == 0:
+            raise BatError("max of an empty BAT")
+        if self.dtype is DataType.STR:
+            return max(v for v in self.tail)
+        return self.decode_value(self.tail.max())
+
+    def avg(self) -> float:
+        self._require_numeric("avg")
+        if len(self) == 0:
+            raise BatError("avg of an empty BAT")
+        return float(self.tail.mean())
+
+    def _require_numeric(self, op: str) -> None:
+        if not self.dtype.is_numeric:
+            raise TypeMismatchError(
+                f"{op} requires a numeric BAT, got {self.dtype.value}")
+
+    # -- key / uniqueness --------------------------------------------------
+
+    def is_key(self) -> bool:
+        """Whether all tail values are distinct (no nil duplicates either)."""
+        if len(self) <= 1:
+            return True
+        if self.dtype is DataType.STR:
+            return len(set(self.tail)) == len(self)
+        return len(np.unique(self.tail)) == len(self)
+
+    # -- dunder ------------------------------------------------------------
+
+    def __iter__(self):
+        return iter(self.python_values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BAT):
+            return NotImplemented
+        if self.dtype is not other.dtype or len(self) != len(other):
+            return False
+        if self.dtype is DataType.DBL:
+            return bool(np.array_equal(self.tail, other.tail,
+                                       equal_nan=True))
+        return bool(np.array_equal(self.tail, other.tail))
+
+    def __hash__(self):  # immutable, but hashing whole columns is a bug
+        raise TypeError("BATs are not hashable")
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(v) for v in self.python_values()[:6])
+        suffix = ", ..." if len(self) > 6 else ""
+        return (f"BAT({self.dtype.value}, n={len(self)}, "
+                f"[{preview}{suffix}])")
+
+
+def align_check(*bats: BAT) -> int:
+    """Assert that all BATs have the same length; return that length."""
+    if not bats:
+        return 0
+    n = len(bats[0])
+    for b in bats[1:]:
+        if len(b) != n:
+            raise AlignmentError(
+                f"misaligned BATs: lengths {[len(x) for x in bats]}")
+    return n

@@ -1,0 +1,63 @@
+"""Named-table catalog.
+
+A minimal database catalog: case-insensitive table names mapped to relations.
+The SQL session layer and the examples use it as "the database".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import CatalogError
+
+
+class Catalog:
+    """Case-insensitive mapping from table names to relations."""
+
+    def __init__(self):
+        self._tables: dict[str, Any] = {}
+        self._display_names: dict[str, str] = {}
+
+    @staticmethod
+    def _key(name: str) -> str:
+        return name.lower()
+
+    def create(self, name: str, relation: Any,
+               replace: bool = False) -> None:
+        """Register a relation under ``name``.
+
+        Raises :class:`CatalogError` if the name is taken and ``replace`` is
+        false.
+        """
+        key = self._key(name)
+        if key in self._tables and not replace:
+            raise CatalogError(f"table {name!r} already exists")
+        self._tables[key] = relation
+        self._display_names[key] = name
+
+    def drop(self, name: str, if_exists: bool = False) -> None:
+        key = self._key(name)
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[key]
+        del self._display_names[key]
+
+    def get(self, name: str) -> Any:
+        key = self._key(name)
+        if key not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        return self._tables[key]
+
+    def __contains__(self, name: str) -> bool:
+        return self._key(name) in self._tables
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._display_names.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def names(self) -> list[str]:
+        return sorted(self._display_names.values())

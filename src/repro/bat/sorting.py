@@ -1,0 +1,94 @@
+"""Order computation over BATs.
+
+The order schema of a relational matrix operation imposes a tuple order that
+is *computed* from the data (the paper stores no ordered structures).  This
+module derives that order: a stable lexicographic argsort over a list of
+BATs, plus the key check the order schema must satisfy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bat.bat import BAT, DataType
+from repro.errors import BatError, KeyViolationError
+
+
+def _sort_key_array(bat: BAT) -> np.ndarray:
+    """Return an array usable as an argsort key for one BAT."""
+    if bat.dtype is DataType.STR:
+        # Object arrays argsort correctly (python str comparison), but nils
+        # (None) are not orderable; surface that as an explicit error.
+        if any(v is None for v in bat.tail):
+            raise BatError("cannot order by a column containing nil strings")
+        return bat.tail
+    return bat.tail
+
+
+def order_by(bats: list[BAT]) -> np.ndarray:
+    """Stable lexicographic order positions for a list of key BATs.
+
+    The first BAT is the major key.  Implemented as repeated stable argsort
+    from the minor key to the major key (radix-style), which is how column
+    stores compute multi-column orders without materializing row tuples.
+    """
+    if not bats:
+        raise BatError("order_by requires at least one column")
+    n = len(bats[0])
+    for b in bats[1:]:
+        if len(b) != n:
+            raise BatError("order_by columns are misaligned")
+    positions = np.arange(n, dtype=np.int64)
+    for bat in reversed(bats):
+        key = _sort_key_array(bat)[positions]
+        order = np.argsort(key, kind="stable")
+        positions = positions[order]
+    return positions
+
+
+def rank_of(positions: np.ndarray) -> np.ndarray:
+    """Inverse permutation: rank_of(order)[i] is the sorted rank of row i.
+
+    Used by the *relative sorting* optimization for element-wise operations
+    (paper §8.1): the first relation stays in storage order and the second
+    relation is aligned to it via the composed permutation.
+    """
+    ranks = np.empty(len(positions), dtype=np.int64)
+    ranks[positions] = np.arange(len(positions), dtype=np.int64)
+    return ranks
+
+
+def check_key(bats: list[BAT], order: np.ndarray | None = None) -> bool:
+    """Check that the combined columns form a key (unique rows).
+
+    If a precomputed order is supplied the check is a linear adjacent-equality
+    scan; otherwise an order is computed first.
+    """
+    if not bats:
+        return False
+    n = len(bats[0])
+    if n <= 1:
+        return True
+    if order is None:
+        order = order_by(bats)
+    duplicate = np.ones(n - 1, dtype=bool)
+    for bat in bats:
+        key = bat.tail[order]
+        if bat.dtype is DataType.STR:
+            eq = np.array([key[i] == key[i + 1] for i in range(n - 1)],
+                          dtype=bool)
+        else:
+            eq = key[:-1] == key[1:]
+        duplicate &= eq
+        if not duplicate.any():
+            return True
+    return not bool(duplicate.any())
+
+
+def require_key(bats: list[BAT], names: list[str],
+                order: np.ndarray | None = None) -> None:
+    """Raise :class:`KeyViolationError` unless the columns form a key."""
+    if not check_key(bats, order):
+        raise KeyViolationError(
+            f"order schema ({', '.join(names)}) does not form a key: "
+            "duplicate tuples found")

@@ -1,0 +1,46 @@
+"""CLI for the benchmark harness.
+
+Examples::
+
+    python -m repro.bench fig15
+    python -m repro.bench all --scale 0.2
+    python -m repro.bench table6 --scale 1.0 --output results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import EXPERIMENTS, run_all, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="size multiplier relative to the scaled-down "
+                             "defaults (default 0.2 for quick runs)")
+    parser.add_argument("--output", default=None,
+                        help="append the rendered tables to this file")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "all":
+        results = run_all(scale=args.scale)
+    else:
+        results = [run_experiment(args.experiment, scale=args.scale)]
+
+    text = "\n\n".join(r.render() for r in results)
+    print(text)
+    if args.output:
+        with open(args.output, "a") as handle:
+            handle.write(text + "\n\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

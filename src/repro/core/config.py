@@ -1,0 +1,42 @@
+"""Configuration for relational matrix operations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.linalg.policy import BackendPolicy
+
+
+@dataclass
+class RmaConfig:
+    """Execution knobs for RMA operations.
+
+    * ``policy`` — which kernel backend runs base results (§7.3);
+    * ``optimize_sorting`` — apply the §8.1 optimizations (skip sorting for
+      row-order-invariant/-equivariant operations, relative sorting for
+      element-wise operations).  Disabling reproduces the unoptimized curves
+      of Fig. 13;
+    * ``validate_keys`` — verify that order schemas form keys.  This is the
+      safe default; benchmarks that reproduce the paper's timings disable it
+      (MonetDB relies on declared key constraints instead of re-checking).
+    """
+
+    policy: BackendPolicy = field(default_factory=BackendPolicy)
+    optimize_sorting: bool = True
+    validate_keys: bool = True
+
+
+_DEFAULT = RmaConfig()
+
+
+def default_config() -> RmaConfig:
+    """The process-wide default configuration."""
+    return _DEFAULT
+
+
+def set_default_config(config: RmaConfig) -> RmaConfig:
+    """Replace the process-wide default; returns the previous one."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = config
+    return previous

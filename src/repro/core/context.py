@@ -1,0 +1,249 @@
+"""Split, sort, morph: contextual-information handling (paper Alg. 1, §8.1).
+
+A relational matrix operation splits each argument relation into order part
+and application part, establishes the row order the matrix kernel needs, and
+keeps the order part aligned with it so the merge step can attach row
+origins.  Sorting is the expensive part, and the paper's §8.1 optimizations
+avoid it whenever the operation allows:
+
+* *invariant* operations (``rnk``, ``rqr``, ``dsv``, ``vsv``) skip sorting
+  entirely — their base result does not depend on row order;
+* *equivariant* operations (``qqr``, ``usv``; first argument of ``mmu`` and
+  ``opd``) skip sorting — permuted input rows only permute result rows, and
+  the attached order part still identifies them;
+* *relative* (element-wise ``add``/``sub``/``emu``, plus ``cpd``/``sol``)
+  leave the first relation in storage order and align the second to it with
+  one composed permutation — only the second relation is fetchjoined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.bat.bat import BAT
+from repro.bat.sorting import order_by, rank_of, require_key
+from repro.core.config import RmaConfig
+from repro.errors import (
+    ApplicationSchemaError,
+    OrderSchemaError,
+    RmaError,
+)
+from repro.linalg.matrix import Columns
+from repro.opspec import OpSpec, SortClass
+from repro.relational.relation import Relation
+
+
+@dataclass
+class PreparedInput:
+    """One argument relation, split and ordered for the kernel.
+
+    ``order_bats`` are the order-part columns in *result row order* (the
+    order the kernel sees), so the merge step can concatenate them directly
+    with base-result columns.  ``app_columns`` is the matrix µ as float
+    columns in the same row order.
+    """
+
+    relation: Relation
+    order_names: list[str]
+    app_names: list[str]
+    order_bats: list[BAT]
+    app_columns: Columns
+    sorted_storage: bool  # True when rows were physically sorted
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.relation.nrows, len(self.app_names))
+
+
+def _as_names(by: str | Sequence[str]) -> list[str]:
+    if isinstance(by, str):
+        return [by]
+    names = list(by)
+    if not names:
+        raise OrderSchemaError("order schema must not be empty")
+    return names
+
+
+def split_schema(relation: Relation, by: str | Sequence[str],
+                 spec: OpSpec, argument: int) -> tuple[list[str], list[str]]:
+    """Split R into order schema U and application schema U-bar.
+
+    Validates the paper's preconditions: the order schema attributes exist,
+    the application schema is non-empty and numeric, and operations that use
+    the column cast have a single-attribute order schema.
+    """
+    order_names = _as_names(by)
+    seen = set()
+    for name in order_names:
+        if name in seen:
+            raise OrderSchemaError(
+                f"duplicate attribute {name!r} in order schema")
+        seen.add(name)
+        if name not in relation.schema:
+            raise OrderSchemaError(
+                f"order attribute {name!r} not in schema "
+                f"({', '.join(relation.names)})")
+    app_names = relation.schema.complement(order_names)
+    if not app_names:
+        raise ApplicationSchemaError(
+            f"{spec.name}: application schema is empty — every attribute "
+            "is in the order schema")
+    for name in app_names:
+        if not relation.schema.dtype(name).is_numeric:
+            raise ApplicationSchemaError(
+                f"{spec.name}: application attribute {name!r} has "
+                f"non-numeric type {relation.schema.dtype(name).value}; "
+                "drop it with a projection or add it to the order schema")
+    if argument in spec.order_card_one and len(order_names) != 1:
+        raise OrderSchemaError(
+            f"{spec.name}: the column cast requires a single-attribute "
+            f"order schema for argument {argument}, got {len(order_names)}")
+    return order_names, app_names
+
+
+def _prepare_sorted(relation: Relation, order_names: list[str],
+                    app_names: list[str],
+                    validate: bool) -> PreparedInput:
+    """FULL sorting: argsort the order part, fetchjoin everything."""
+    order_bats = relation.bats(order_names)
+    positions = order_by(order_bats)
+    if validate:
+        require_key(order_bats, order_names, positions)
+    sorted_order = [bat.fetch(positions) for bat in order_bats]
+    app_columns = [relation.column(n).fetch(positions).as_float()
+                   for n in app_names]
+    return PreparedInput(relation, order_names, app_names, sorted_order,
+                         app_columns, sorted_storage=True)
+
+
+def _prepare_unsorted(relation: Relation, order_names: list[str],
+                      app_names: list[str],
+                      validate: bool) -> PreparedInput:
+    """No sorting: storage order is the kernel order."""
+    order_bats = relation.bats(order_names)
+    if validate:
+        require_key(order_bats, order_names)
+    app_columns = [relation.column(n).as_float() for n in app_names]
+    return PreparedInput(relation, order_names, app_names, order_bats,
+                         app_columns, sorted_storage=False)
+
+
+def _needs_key(spec: OpSpec, config: RmaConfig) -> bool:
+    """Whether the order schema must be validated as a key.
+
+    Order-invariant operations (``rnk``, ``rqr``, ``dsv``, ``vsv``) neither
+    use the row order nor attach row origins from the order part, so the key
+    requirement does not apply — the paper's own Fig. 9 example
+    ``rnk_H(π_{H,W}(r))`` orders by the non-key attribute H.
+    """
+    return config.validate_keys and spec.sort_class is not SortClass.INVARIANT
+
+
+def prepare_unary(relation: Relation, by: str | Sequence[str],
+                  spec: OpSpec, config: RmaConfig) -> PreparedInput:
+    order_names, app_names = split_schema(relation, by, spec, argument=1)
+    validate = _needs_key(spec, config)
+    if not config.optimize_sorting or spec.sort_class is SortClass.FULL:
+        return _prepare_sorted(relation, order_names, app_names, validate)
+    # INVARIANT and EQUIVARIANT unary operations skip sorting (§8.1).
+    return _prepare_unsorted(relation, order_names, app_names, validate)
+
+
+def prepare_binary(r: Relation, r_by: str | Sequence[str], s: Relation,
+                   s_by: str | Sequence[str], spec: OpSpec,
+                   config: RmaConfig) -> tuple[PreparedInput, PreparedInput]:
+    r_order, r_app = split_schema(r, r_by, spec, argument=1)
+    s_order, s_app = split_schema(s, s_by, spec, argument=2)
+    _check_binary_compat(r, r_order, r_app, s, s_order, s_app, spec)
+
+    if not config.optimize_sorting or spec.sort_class is SortClass.FULL:
+        return (_prepare_sorted(r, r_order, r_app, config.validate_keys),
+                _prepare_sorted(s, s_order, s_app, config.validate_keys))
+
+    if spec.sort_class is SortClass.EQUIVARIANT:
+        # First argument keeps storage order; second must still be sorted
+        # (its rows align with the first argument's *columns*).
+        return (_prepare_unsorted(r, r_order, r_app, config.validate_keys),
+                _prepare_sorted(s, s_order, s_app, config.validate_keys))
+
+    # RELATIVE: align s's rows to r's storage order with one composed
+    # permutation; r is never fetchjoined (paper: "only the order part of
+    # the second relation requires sorting").
+    r_order_bats = r.bats(r_order)
+    r_positions = order_by(r_order_bats)
+    if config.validate_keys:
+        require_key(r_order_bats, r_order, r_positions)
+    s_order_bats = s.bats(s_order)
+    s_positions = order_by(s_order_bats)
+    if config.validate_keys:
+        require_key(s_order_bats, s_order, s_positions)
+    aligned = s_positions[rank_of(r_positions)]
+    prepared_r = PreparedInput(
+        r, r_order, r_app, r_order_bats,
+        [r.column(n).as_float() for n in r_app], sorted_storage=False)
+    prepared_s = PreparedInput(
+        s, s_order, s_app,
+        [bat.fetch(aligned) for bat in s_order_bats],
+        [s.column(n).fetch(aligned).as_float() for n in s_app],
+        sorted_storage=False)
+    return prepared_r, prepared_s
+
+
+def _check_binary_compat(r: Relation, r_order: list[str], r_app: list[str],
+                         s: Relation, s_order: list[str], s_app: list[str],
+                         spec: OpSpec) -> None:
+    """Schema-level preconditions of binary operations (paper Table 2)."""
+    if spec.same_shape:
+        # add/sub/emu: union-compatible application schemas,
+        # non-overlapping order schemas (the result carries both).
+        if len(r_app) != len(s_app):
+            raise ApplicationSchemaError(
+                f"{spec.name}: application schemas must be union "
+                f"compatible, got {len(r_app)} and {len(s_app)} attributes")
+        overlap = set(r_order) & set(s_order)
+        if overlap:
+            raise OrderSchemaError(
+                f"{spec.name}: order schemas overlap on "
+                f"{sorted(overlap)}; rename one side first")
+        if r.nrows != s.nrows:
+            raise RmaError(
+                f"{spec.name}: relations have different cardinalities "
+                f"({r.nrows} vs {s.nrows})")
+    if spec.inner_dims and len(r_app) != s.nrows:
+        raise RmaError(
+            f"{spec.name}: first application schema has {len(r_app)} "
+            f"attributes but second relation has {s.nrows} tuples")
+    if spec.same_rows and r.nrows != s.nrows:
+        raise RmaError(
+            f"{spec.name}: relations have different cardinalities "
+            f"({r.nrows} vs {s.nrows})")
+    if spec.same_cols and len(r_app) != len(s_app):
+        raise ApplicationSchemaError(
+            f"{spec.name}: application schemas must have the same width, "
+            f"got {len(r_app)} and {len(s_app)}")
+
+
+def sorted_order_values(prepared: PreparedInput) -> list[str]:
+    """▽U for a prepared input: sorted values of the single order attribute.
+
+    Cheap even in the no-sort modes: only the (single) order column is
+    argsorted, never the application part.
+    """
+    if len(prepared.order_names) != 1:
+        raise OrderSchemaError(
+            "column cast requires a single-attribute order schema")
+    bat = prepared.order_bats[0]
+    if prepared.sorted_storage:
+        values = bat.python_values()
+    else:
+        positions = np.argsort(bat.tail, kind="stable")
+        values = bat.fetch(positions).python_values()
+    out = []
+    for value in values:
+        if value is None:
+            raise RmaError("column cast over nil values")
+        out.append(str(value))
+    return out

@@ -1,0 +1,126 @@
+"""Execution of relational matrix operations (paper Table 2 / Alg. 1).
+
+``execute_rma`` runs the full pipeline: split each argument into order and
+application parts, establish the row order (:mod:`repro.core.context`),
+compute the base result with the backend chosen by the policy, and merge
+base result and morphed contextual information into the result relation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.bat.bat import BAT, DataType
+from repro.core.config import RmaConfig, default_config
+from repro.core.constructors import gamma, schema_cast
+from repro.core.context import (
+    PreparedInput,
+    prepare_binary,
+    prepare_unary,
+    sorted_order_values,
+)
+from repro.errors import RmaError
+from repro.linalg.matrix import Columns
+from repro.opspec import OpSpec, spec_of
+from repro.relational.relation import Relation
+
+CONTEXT_ATTRIBUTE = "C"
+"""Name of the synthesized context attribute (paper Table 2)."""
+
+
+def execute_rma(name: str, r: Relation, by: str | Sequence[str],
+                s: Relation | None = None,
+                s_by: str | Sequence[str] | None = None,
+                config: RmaConfig | None = None) -> Relation:
+    """Run relational matrix operation ``name`` and return the result.
+
+    ``by`` (and ``s_by`` for binary operations) are the order schemas.
+    """
+    spec = spec_of(name)
+    config = config or default_config()
+    if spec.arity == 2:
+        if s is None or s_by is None:
+            raise RmaError(f"{name} is binary: supply s and s_by")
+        prepared_r, prepared_s = prepare_binary(r, by, s, s_by, spec, config)
+        backend = config.policy.choose(name, prepared_r.shape,
+                                       prepared_s.shape)
+        a_cols = prepared_r.app_columns
+        b_cols = prepared_s.app_columns
+        if name == "cpd" and _same_columns(a_cols, b_cols):
+            b_cols = a_cols  # enable the symmetric (dsyrk-style) fast path
+        base = backend.compute(name, a_cols, b_cols)
+    else:
+        if s is not None or s_by is not None:
+            raise RmaError(f"{name} is unary: s/s_by are not accepted")
+        prepared_r = prepare_unary(r, by, spec, config)
+        prepared_s = None
+        backend = config.policy.choose(name, prepared_r.shape)
+        base = backend.compute(name, prepared_r.app_columns)
+    return merge_result(spec, prepared_r, prepared_s, base)
+
+
+def _same_columns(a: Columns, b: Columns) -> bool:
+    return len(a) == len(b) and all(x is y for x, y in zip(a, b))
+
+
+def merge_result(spec: OpSpec, r: PreparedInput,
+                 s: PreparedInput | None, base: Columns) -> Relation:
+    """Merge step: attach morphed context to the base result (Table 2).
+
+    The shape type decides the row context (order parts, a ∆-cast context
+    column, or the literal ``'r'``) and the base-result attribute names
+    (inherited application schemas, ▽-cast order values, or the operation
+    name).
+    """
+    x, y = spec.shape_type
+    names: list[str] = []
+    columns: list[BAT] = []
+
+    # -- row context (x) ----------------------------------------------------
+    if x == "r1":
+        names += r.order_names
+        columns += r.order_bats
+    elif x == "r*":
+        assert s is not None
+        names += r.order_names + s.order_names
+        columns += r.order_bats + s.order_bats
+    elif x == "c1":
+        names.append(CONTEXT_ATTRIBUTE)
+        columns.append(schema_cast(r.app_names))
+    elif x == "1":
+        names.append(CONTEXT_ATTRIBUTE)
+        columns.append(BAT.from_values(["r"], DataType.STR))
+    else:  # pragma: no cover - no operation uses other row types
+        raise RmaError(f"unhandled row shape type {x!r}")
+
+    # -- base result attribute names (y) -------------------------------------
+    if y == "c1" or y == "c*":
+        base_names = list(r.app_names)
+    elif y == "c2":
+        assert s is not None
+        base_names = list(s.app_names)
+    elif y == "r1":
+        base_names = sorted_order_values(r)
+    elif y == "r2":
+        assert s is not None
+        base_names = sorted_order_values(s)
+    elif y == "1":
+        base_names = [spec.name]
+    else:  # pragma: no cover
+        raise RmaError(f"unhandled column shape type {y!r}")
+
+    if len(base_names) != len(base):
+        raise RmaError(
+            f"{spec.name}: base result has {len(base)} columns but "
+            f"{len(base_names)} names were derived — shape type "
+            f"{spec.shape_type} violated")
+
+    # Element-wise operations carry both order parts (schema U ∘ V ∘ U-bar).
+    if x == "r*":
+        pass  # both order parts already attached above
+    names += base_names
+    columns += [BAT(DataType.DBL, np.asarray(col, dtype=np.float64))
+                for col in base]
+    return gamma(columns, names)

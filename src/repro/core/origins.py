@@ -1,0 +1,116 @@
+"""Row and column origins (paper §6.2, Table 3).
+
+Origins are the inherited contextual information that (1) uniquely defines
+the relative positioning of result values, (2) gives values a meaning with
+respect to the operation, and (3) connects argument and result relations.
+This module derives the expected origins of an operation from its shape
+type and verifies them against an actual result relation — the executable
+form of Theorem 6.8.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import RmaError
+from repro.opspec import spec_of
+from repro.relational.relation import Relation
+
+
+def _order_part_values(relation: Relation,
+                       order_names: Sequence[str]) -> list[tuple]:
+    return [tuple(row) for row in zip(
+        *(relation.column(n).python_values() for n in order_names))]
+
+
+def _sorted_cast(relation: Relation, order_names: Sequence[str]) -> list[str]:
+    if len(order_names) != 1:
+        raise RmaError("column cast origins require |U| = 1")
+    values = relation.column(order_names[0]).python_values()
+    return [str(v) for v in sorted(values, key=lambda v: (v is None, v))]
+
+
+def row_origin(op: str, r: Relation, by: Sequence[str] | str,
+               s: Relation | None = None,
+               s_by: Sequence[str] | str | None = None):
+    """The expected row origin per Table 3 (as a list, or the literal 'r')."""
+    spec = spec_of(op)
+    r_by = [by] if isinstance(by, str) else list(by)
+    x = spec.shape_type[0]
+    if x == "r1":
+        return _order_part_values(r, r_by)
+    if x == "r*":
+        assert s is not None and s_by is not None
+        v_by = [s_by] if isinstance(s_by, str) else list(s_by)
+        return (_order_part_values(r, r_by), _order_part_values(s, v_by))
+    if x == "c1":
+        return [(name,) for name in _app_names(r, r_by)]
+    if x == "1":
+        return "r"
+    raise RmaError(f"unhandled shape type {x!r}")  # pragma: no cover
+
+
+def column_origin(op: str, r: Relation, by: Sequence[str] | str,
+                  s: Relation | None = None,
+                  s_by: Sequence[str] | str | None = None) -> list[str]:
+    """The expected column origin per Table 3."""
+    spec = spec_of(op)
+    r_by = [by] if isinstance(by, str) else list(by)
+    y = spec.shape_type[1]
+    if y in ("c1", "c*"):
+        return _app_names(r, r_by)
+    if y == "c2":
+        assert s is not None and s_by is not None
+        v_by = [s_by] if isinstance(s_by, str) else list(s_by)
+        return _app_names(s, v_by)
+    if y == "r1":
+        return _sorted_cast(r, r_by)
+    if y == "r2":
+        assert s is not None and s_by is not None
+        v_by = [s_by] if isinstance(s_by, str) else list(s_by)
+        return _sorted_cast(s, v_by)
+    if y == "1":
+        return [spec.name]
+    raise RmaError(f"unhandled shape type {y!r}")  # pragma: no cover
+
+
+def _app_names(relation: Relation, order_names: list[str]) -> list[str]:
+    return relation.schema.complement(order_names)
+
+
+def verify_origins(op: str, result: Relation, r: Relation,
+                   by: Sequence[str] | str, s: Relation | None = None,
+                   s_by: Sequence[str] | str | None = None) -> bool:
+    """Check that ``result`` carries the origins Table 3 prescribes.
+
+    Row origins must appear as the values of the result's leading context
+    attributes (as a set — storage order is not semantics); column origins
+    must be the names of the base-result attributes.
+    """
+    spec = spec_of(op)
+    x, y = spec.shape_type
+    r_by = [by] if isinstance(by, str) else list(by)
+
+    expected_cols = column_origin(op, r, by, s, s_by)
+    actual_cols = result.names[-len(expected_cols):]
+    if actual_cols != [str(c) for c in expected_cols]:
+        return False
+
+    expected_rows = row_origin(op, r, by, s, s_by)
+    if x == "r1":
+        actual = _order_part_values(result, r_by)
+        return sorted(map(repr, actual)) == sorted(map(repr, expected_rows))
+    if x == "r*":
+        assert s is not None and s_by is not None
+        v_by = [s_by] if isinstance(s_by, str) else list(s_by)
+        actual_r = _order_part_values(result, r_by)
+        actual_s = _order_part_values(result, v_by)
+        exp_r, exp_s = expected_rows
+        return (sorted(map(repr, actual_r)) == sorted(map(repr, exp_r))
+                and sorted(map(repr, actual_s)) == sorted(map(repr, exp_s)))
+    if x == "c1":
+        actual = [(v,) for v in result.column("C").python_values()]
+        return actual == expected_rows
+    if x == "1":
+        return result.column("C").python_values() == ["r"]
+    return False  # pragma: no cover

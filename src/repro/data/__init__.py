@@ -1,0 +1,31 @@
+"""Seeded synthetic dataset generators.
+
+The paper evaluates on BIXI (Montreal bike sharing), DBLP publication
+counts, and uniform synthetic relations.  The real datasets are not
+redistributable here, so these generators produce relations with the same
+schemas, distributions and statistical structure (documented per module);
+all are deterministic given a seed.
+"""
+
+from repro.data.bixi import generate_stations, generate_trips
+from repro.data.dblp import generate_publications, generate_ranking
+from repro.data.synthetic import (
+    order_heavy_relation,
+    sparse_pair,
+    uniform_pair,
+    uniform_relation,
+)
+from repro.data.paper_examples import example_database, weather_relation
+
+__all__ = [
+    "generate_stations",
+    "generate_trips",
+    "generate_publications",
+    "generate_ranking",
+    "uniform_relation",
+    "uniform_pair",
+    "sparse_pair",
+    "order_heavy_relation",
+    "example_database",
+    "weather_relation",
+]

@@ -1,0 +1,122 @@
+"""Synthetic BIXI: Montreal public bike sharing trips and stations.
+
+Schema follows the Kaggle BIXI dataset the paper uses (§8.6): trips carry
+start/end dates, times, station codes, a duration and a membership flag;
+stations carry a code, a name and coordinates.
+
+The generator preserves the properties the workloads exercise:
+
+* station popularity is skewed, so the "trips performed at least 50 times"
+  filter separates frequent from rare station pairs;
+* trip duration is linear in the station distance plus noise, so the OLS /
+  MLR regressions recover a meaningful slope;
+* trips carry non-numeric attributes (DATE, TIME, BOOL) — the data AIDA
+  must convert when moving to Python (Fig. 15's differentiator).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+import numpy as np
+
+from repro.bat.bat import BAT, DataType
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+
+MONTREAL_LATITUDE = 45.51
+MONTREAL_LONGITUDE = -73.59
+
+DURATION_INTERCEPT = 300.0   # seconds of overhead per trip
+DURATION_PER_KM = 240.0      # seconds per kilometre
+DURATION_NOISE = 60.0
+
+
+def generate_stations(n_stations: int, seed: int = 1) -> Relation:
+    """Stations: (code, name, latitude, longitude)."""
+    rng = np.random.default_rng(seed)
+    codes = np.arange(1000, 1000 + n_stations, dtype=np.int64)
+    latitudes = MONTREAL_LATITUDE + rng.uniform(-0.08, 0.08, n_stations)
+    longitudes = MONTREAL_LONGITUDE + rng.uniform(-0.10, 0.10, n_stations)
+    names = np.array([f"Station {int(c)}" for c in codes], dtype=object)
+    return Relation(
+        Schema.of(("code", DataType.INT), ("name", DataType.STR),
+                  ("latitude", DataType.DBL), ("longitude", DataType.DBL)),
+        [BAT(DataType.INT, codes), BAT(DataType.STR, names),
+         BAT(DataType.DBL, latitudes), BAT(DataType.DBL, longitudes)])
+
+
+def station_distance_km(lat1, lon1, lat2, lon2) -> np.ndarray:
+    """Equirectangular distance — adequate at city scale."""
+    mean_lat = np.radians((np.asarray(lat1) + np.asarray(lat2)) / 2.0)
+    dx = np.radians(np.asarray(lon2) - np.asarray(lon1)) * np.cos(mean_lat)
+    dy = np.radians(np.asarray(lat2) - np.asarray(lat1))
+    return 6371.0 * np.sqrt(dx * dx + dy * dy)
+
+
+def generate_trips(n_trips: int, stations: Relation,
+                   years: tuple[int, ...] = (2014, 2015, 2016, 2017),
+                   seed: int = 2,
+                   pair_skew: float = 1.3) -> Relation:
+    """Trips: (trip_id, start_date, start_time, start_station,
+    end_station, duration, is_member).
+
+    Station pairs are drawn from a Zipf-like distribution (``pair_skew``),
+    and the duration is linear in distance plus noise.
+    """
+    rng = np.random.default_rng(seed)
+    n_stations = stations.nrows
+    codes = stations.column("code").tail
+    lats = stations.column("latitude").tail
+    lons = stations.column("longitude").tail
+
+    # Skewed choice of station pairs: rank stations by popularity.
+    ranks = np.arange(1, n_stations + 1, dtype=np.float64)
+    weights = 1.0 / np.power(ranks, pair_skew)
+    weights /= weights.sum()
+    start_idx = rng.choice(n_stations, size=n_trips, p=weights)
+    end_idx = rng.choice(n_stations, size=n_trips, p=weights)
+    same = start_idx == end_idx
+    end_idx[same] = (end_idx[same] + 1) % n_stations
+
+    distance = station_distance_km(lats[start_idx], lons[start_idx],
+                                   lats[end_idx], lons[end_idx])
+    duration = (DURATION_INTERCEPT + DURATION_PER_KM * distance
+                + rng.normal(0.0, DURATION_NOISE, n_trips))
+    duration = np.maximum(duration, 60.0).astype(np.int64)
+
+    year = rng.choice(np.array(years), size=n_trips)
+    day_of_year = rng.integers(90, 320, n_trips)  # BIXI season
+    epoch = np.array([_dt.date(int(y), 1, 1).toordinal()
+                      - _dt.date(1970, 1, 1).toordinal()
+                      for y in years], dtype=np.int64)
+    year_index = np.searchsorted(np.array(years), year)
+    dates = epoch[year_index] + day_of_year
+
+    seconds = rng.integers(6 * 3600, 23 * 3600, n_trips)
+    member = rng.random(n_trips) < 0.8
+
+    return Relation(
+        Schema.of(("trip_id", DataType.INT), ("start_date", DataType.DATE),
+                  ("start_time", DataType.TIME),
+                  ("start_station", DataType.INT),
+                  ("end_station", DataType.INT),
+                  ("duration", DataType.INT),
+                  ("is_member", DataType.BOOL)),
+        [BAT(DataType.INT, np.arange(n_trips, dtype=np.int64)),
+         BAT(DataType.DATE, dates.astype(np.int64)),
+         BAT(DataType.TIME, seconds.astype(np.int64)),
+         BAT(DataType.INT, codes[start_idx].astype(np.int64)),
+         BAT(DataType.INT, codes[end_idx].astype(np.int64)),
+         BAT(DataType.INT, duration),
+         BAT(DataType.BOOL, member)])
+
+
+def generate_numeric_trips(n_trips: int, stations: Relation,
+                           seed: int = 3) -> Relation:
+    """The journeys workload's purely numeric trip relation:
+    (trip_id, start_station, end_station, duration)."""
+    trips = generate_trips(n_trips, stations, seed=seed)
+    from repro.relational.ops import project
+    return project(trips, ["trip_id", "start_station", "end_station",
+                           "duration"])

@@ -1,0 +1,108 @@
+"""Synthetic DBLP: publication counts per author and conference, plus a
+conference ranking (paper §8.6(3)).
+
+``generate_publications`` directly produces the *pivoted* table the paper
+describes ("the result of SQL PIVOT over a count-aggregate by conference and
+author"): one row per author, one numeric attribute per conference.  The
+long form and the pivot are also available for tests.
+
+Structure preserved from the real data: author activity is heavy-tailed
+(most authors have very few papers), per-conference popularity is skewed,
+and the count matrix is sparse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bat.bat import BAT, DataType
+from repro.relational.pivot import pivot
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+
+RATINGS = ("A++", "A+", "A", "B", "C")
+
+
+def conference_names(n_conferences: int) -> list[str]:
+    return [f"conf{i:04d}" for i in range(n_conferences)]
+
+
+def generate_ranking(n_conferences: int, seed: int = 11) -> Relation:
+    """ranking(conference, rating) with a small A++ tier."""
+    rng = np.random.default_rng(seed)
+    names = conference_names(n_conferences)
+    probabilities = np.array([0.05, 0.1, 0.25, 0.35, 0.25])
+    ratings = rng.choice(np.array(RATINGS, dtype=object),
+                         size=n_conferences, p=probabilities)
+    if not (ratings == "A++").any():
+        ratings[0] = "A++"
+    return Relation(
+        Schema.of(("conference", DataType.STR), ("rating", DataType.STR)),
+        [BAT(DataType.STR, np.array(names, dtype=object)),
+         BAT(DataType.STR, ratings.astype(object))])
+
+
+def generate_publications_long(n_authors: int, n_conferences: int,
+                               seed: int = 12,
+                               mean_confs_per_author: float = 3.0) \
+        -> Relation:
+    """Long form: (author, conference, publications)."""
+    rng = np.random.default_rng(seed)
+    # Heavy-tailed number of distinct conferences per author.
+    confs_per_author = np.minimum(
+        rng.zipf(1.8, n_authors), max(2, n_conferences // 2))
+    confs_per_author = np.maximum(
+        np.minimum(confs_per_author,
+                   int(mean_confs_per_author * 4)), 1)
+    total = int(confs_per_author.sum())
+    authors = np.repeat(np.arange(n_authors, dtype=np.int64),
+                        confs_per_author)
+    # Skewed conference popularity.
+    ranks = np.arange(1, n_conferences + 1, dtype=np.float64)
+    weights = 1.0 / ranks
+    weights /= weights.sum()
+    conf_idx = rng.choice(n_conferences, size=total, p=weights)
+    counts = np.minimum(rng.zipf(2.2, total), 50).astype(np.int64)
+    names = np.array(conference_names(n_conferences), dtype=object)
+    return Relation(
+        Schema.of(("author", DataType.INT), ("conference", DataType.STR),
+                  ("publications", DataType.INT)),
+        [BAT(DataType.INT, authors),
+         BAT(DataType.STR, names[conf_idx]),
+         BAT(DataType.INT, counts)])
+
+
+def generate_publications(n_authors: int, n_conferences: int,
+                          seed: int = 12) -> Relation:
+    """The pivoted publication table: author + one column per conference.
+
+    Built as a dense count grid directly (equivalent to pivoting the long
+    form, but orders of magnitude faster to generate at scale).
+    """
+    rng = np.random.default_rng(seed)
+    names = conference_names(n_conferences)
+    # Sparse counts: each author publishes in a few conferences.
+    grid = np.zeros((n_authors, n_conferences), dtype=np.float64)
+    confs_per_author = np.maximum(
+        np.minimum(rng.zipf(1.8, n_authors), n_conferences), 1)
+    ranks = np.arange(1, n_conferences + 1, dtype=np.float64)
+    weights = 1.0 / ranks
+    weights /= weights.sum()
+    total = int(confs_per_author.sum())
+    rows = np.repeat(np.arange(n_authors), confs_per_author)
+    cols = rng.choice(n_conferences, size=total, p=weights)
+    values = np.minimum(rng.zipf(2.2, total), 50).astype(np.float64)
+    np.add.at(grid, (rows, cols), values)
+
+    attributes = [Attribute("author", DataType.INT)]
+    columns = [BAT(DataType.INT, np.arange(n_authors, dtype=np.int64))]
+    for j, name in enumerate(names):
+        attributes.append(Attribute(name, DataType.DBL))
+        columns.append(BAT(DataType.DBL,
+                           np.ascontiguousarray(grid[:, j])))
+    return Relation(Schema(attributes), columns)
+
+
+def pivot_publications(long_form: Relation) -> Relation:
+    """Pivot the long form (the paper's PIVOT step), for tests."""
+    return pivot(long_form, ["author"], "conference", "publications")

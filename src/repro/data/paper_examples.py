@@ -1,0 +1,29 @@
+"""The paper's running example relations (Figs. 1, 2 and 5)."""
+
+from __future__ import annotations
+
+from repro.relational.relation import Relation
+
+
+def weather_relation() -> Relation:
+    """Relation r of Fig. 2: times with humidity and wind."""
+    return Relation.from_rows(
+        ["T", "H", "W"],
+        [("5am", 1.0, 3.0), ("8am", 8.0, 5.0),
+         ("7am", 6.0, 7.0), ("6am", 1.0, 4.0)])
+
+
+def example_database() -> dict[str, Relation]:
+    """The film-rating database of Fig. 5 (relations u, f, r)."""
+    users = Relation.from_rows(
+        ["User", "State", "YoB"],
+        [("Ann", "CA", 1980), ("Tom", "FL", 1965), ("Jan", "CA", 1970)])
+    films = Relation.from_rows(
+        ["Title", "RelY", "Director"],
+        [("Heat", 1995, "Lee"), ("Balto", 1995, "Lee"),
+         ("Net", 1995, "Smith")])
+    ratings = Relation.from_rows(
+        ["User", "Balto", "Heat", "Net"],
+        [("Ann", 2.0, 1.5, 0.5), ("Tom", 0.0, 0.0, 1.5),
+         ("Jan", 1.0, 4.0, 1.0)])
+    return {"user": users, "film": films, "rating": ratings}

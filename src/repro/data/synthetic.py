@@ -1,0 +1,85 @@
+"""Uniform synthetic relations (paper §8: "synthetic datasets include
+real-valued numeric attributes with uniformly distributed values between 0
+and 10,000")."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bat.bat import BAT, DataType
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+
+VALUE_LOW = 0.0
+VALUE_HIGH = 10_000.0
+
+
+def uniform_relation(n_rows: int, n_app_columns: int, key: str = "id",
+                     seed: int = 7, prefix: str = "x",
+                     low: float = VALUE_LOW,
+                     high: float = VALUE_HIGH) -> Relation:
+    """A relation with an integer key and uniform numeric columns."""
+    rng = np.random.default_rng(seed)
+    attributes = [Attribute(key, DataType.INT)]
+    columns = [BAT(DataType.INT, np.arange(n_rows, dtype=np.int64))]
+    for j in range(n_app_columns):
+        attributes.append(Attribute(f"{prefix}{j}", DataType.DBL))
+        columns.append(BAT(DataType.DBL,
+                           rng.uniform(low, high, n_rows)))
+    return Relation(Schema(attributes), columns)
+
+
+def uniform_pair(n_rows: int, n_app_columns: int,
+                 seed: int = 7) -> tuple[Relation, Relation]:
+    """Two add-compatible relations with distinct key names."""
+    return (uniform_relation(n_rows, n_app_columns, key="id1", seed=seed),
+            uniform_relation(n_rows, n_app_columns, key="id2",
+                             seed=seed + 1))
+
+
+def sparse_pair(n_rows: int, n_app_columns: int, zero_share: float,
+                seed: int = 8) -> tuple[Relation, Relation]:
+    """Two relations whose values are zero with probability ``zero_share``
+    (Table 5: non-zero values uniform in 1..5,000,000, zero positions
+    random)."""
+    rng = np.random.default_rng(seed)
+
+    def build(key: str) -> Relation:
+        attributes = [Attribute(key, DataType.INT)]
+        columns = [BAT(DataType.INT, np.arange(n_rows, dtype=np.int64))]
+        for j in range(n_app_columns):
+            values = rng.uniform(1.0, 5_000_000.0, n_rows)
+            zeros = rng.random(n_rows) < zero_share
+            values[zeros] = 0.0
+            attributes.append(Attribute(f"x{j}", DataType.DBL))
+            columns.append(BAT(DataType.DBL, values))
+        return Relation(Schema(attributes), columns)
+
+    return build("id1"), build("id2")
+
+
+def order_heavy_relation(n_rows: int, n_order_columns: int,
+                         seed: int = 9, key_name: str = "k0") -> Relation:
+    """The Fig. 13 shape: one application column, many order columns.
+
+    The first order column is a shuffled unique key (so any order schema
+    containing it is a key); the remaining order columns carry few distinct
+    values, which is the worst case for lexicographic sorting (every column
+    participates in the radix passes).
+    """
+    rng = np.random.default_rng(seed)
+    attributes = [Attribute(key_name, DataType.INT)]
+    columns = [BAT(DataType.INT, rng.permutation(n_rows).astype(np.int64))]
+    for j in range(1, n_order_columns):
+        attributes.append(Attribute(f"k{j}", DataType.INT))
+        columns.append(BAT(DataType.INT,
+                           rng.integers(0, 4, n_rows, dtype=np.int64)))
+    attributes.append(Attribute("value", DataType.DBL))
+    columns.append(BAT(DataType.DBL,
+                       rng.uniform(VALUE_LOW, VALUE_HIGH, n_rows)))
+    return Relation(Schema(attributes), columns)
+
+
+def order_names(relation: Relation) -> list[str]:
+    """The order schema of an :func:`order_heavy_relation` (all k columns)."""
+    return [n for n in relation.names if n.startswith("k")]

@@ -1,0 +1,105 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while the
+subclasses keep the failure domains (storage, relational, RMA, SQL, linear
+algebra) apart.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class BatError(ReproError):
+    """Error in the BAT (binary association table) storage layer."""
+
+
+class TypeMismatchError(BatError):
+    """An operation was applied to BATs of incompatible types."""
+
+
+class AlignmentError(BatError):
+    """BATs that must be aligned (same length / head) are not."""
+
+
+class SchemaError(ReproError):
+    """Invalid schema: duplicate attributes, unknown attributes, bad types."""
+
+
+class RelationError(ReproError):
+    """Error in a relational algebra operation."""
+
+
+class KeyViolationError(RelationError):
+    """An order schema (or declared key) does not uniquely identify tuples."""
+
+
+class RmaError(ReproError):
+    """Error in a relational matrix operation."""
+
+
+class ShapeError(RmaError):
+    """Matrix arguments have incompatible or unsupported shapes."""
+
+
+class ApplicationSchemaError(RmaError):
+    """The application schema is empty, non-numeric, or incompatible."""
+
+
+class OrderSchemaError(RmaError):
+    """The order schema is invalid (unknown attributes, not a key, ...)."""
+
+
+class LinAlgError(ReproError):
+    """Numerical failure inside a matrix kernel (singular matrix, ...)."""
+
+
+class SingularMatrixError(LinAlgError):
+    """A matrix that must be invertible / positive definite is not."""
+
+
+class ConvergenceError(LinAlgError):
+    """An iterative kernel (Jacobi eigen/SVD) failed to converge."""
+
+
+class BackendError(ReproError):
+    """A kernel backend cannot execute the requested operation."""
+
+
+class UnsupportedByBackendError(BackendError):
+    """The operation is valid but this backend has no kernel for it."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class BindError(SqlError):
+    """A name in the query could not be resolved (table, column, function)."""
+
+
+class PlanError(SqlError):
+    """The query is well-formed but cannot be planned (e.g. bad aggregate)."""
+
+
+class CatalogError(ReproError):
+    """Catalog failure: unknown or duplicate table name."""
+
+
+class CsvError(ReproError):
+    """Malformed CSV input."""

@@ -1,0 +1,126 @@
+"""Declarative specification of the 19 matrix operations.
+
+This table is the code form of the paper's Tables 1 and 2: for every
+operation it records the arity, the *shape type* (which input dimension the
+result rows/columns inherit), the dimension preconditions, and the sorting
+class used by the §8.1 optimizations.  Both :mod:`repro.core` (context
+morphing) and :mod:`repro.linalg` (kernels, backend policy) read it.
+
+Shape-type symbols (paper Table 1):
+
+* ``r1``/``r2`` — result dimension equals the row count of input 1/2;
+* ``c1``/``c2`` — result dimension equals the column count of input 1/2;
+* ``r*``/``c*`` — equals both inputs (which must agree);
+* ``1``        — scalar dimension.
+
+Deviation from the paper (documented in DESIGN.md): the paper's Table 1/2
+lists ``vsv`` with shape type ``(r1,1)``, which is inconsistent with its own
+definition of VSV as "the matrix V with the right singular vectors" (V is
+``j1 x j1``, not ``i1 x 1``; the ``(r1,1)`` typing would also make the Fig. 14
+benchmark of VSV on 500K x 50 relations impossible).  We resolve the
+inconsistency by typing ``vsv`` like ``dsv``: shape type ``(c1,c1)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SortClass(enum.Enum):
+    """How much sorting an operation needs (paper §8.1).
+
+    * ``FULL``        — every argument must be sorted by its order schema.
+    * ``INVARIANT``   — the base result does not depend on row order at all
+                        (e.g. ``rnk``): skip sorting entirely.
+    * ``EQUIVARIANT`` — permuting input rows permutes result rows the same
+                        way (``OP(P a) = P OP(a)``, e.g. ``qqr``): skip
+                        sorting; row origins keep the storage order.  For
+                        binary operations this applies to the first argument
+                        only; the second is sorted.
+    * ``RELATIVE``    — only the *relative* order of the two arguments
+                        matters (element-wise ops, ``cpd``, ``sol``): leave
+                        the first argument in storage order and align the
+                        second to it.
+    """
+
+    FULL = "full"
+    INVARIANT = "invariant"
+    EQUIVARIANT = "equivariant"
+    RELATIVE = "relative"
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one matrix operation."""
+
+    name: str
+    arity: int
+    shape_type: tuple[str, str]
+    sort_class: SortClass = SortClass.FULL
+    square: bool = False          # application part must be square
+    tall: bool = False            # requires nrows >= ncols
+    symmetric: bool = False       # requires a symmetric application part
+    order_card_one: tuple[int, ...] = field(default=())
+    # ^ which arguments (1-based) need |order schema| == 1 (column cast)
+    same_shape: bool = False      # binary: application parts same shape
+    inner_dims: bool = False      # binary: ncols(a) == nrows(b)
+    same_rows: bool = False       # binary: nrows(a) == nrows(b)
+    same_cols: bool = False       # binary: ncols(a) == ncols(b)
+    linear: bool = False          # "linear" op for the backend policy (§8.6)
+
+    @property
+    def unary(self) -> bool:
+        return self.arity == 1
+
+
+def _spec(*args, **kwargs) -> OpSpec:
+    return OpSpec(*args, **kwargs)
+
+
+OPS: dict[str, OpSpec] = {spec.name: spec for spec in [
+    # -- element-wise (r*, c*) -------------------------------------------
+    _spec("add", 2, ("r*", "c*"), SortClass.RELATIVE, same_shape=True,
+          linear=True),
+    _spec("sub", 2, ("r*", "c*"), SortClass.RELATIVE, same_shape=True,
+          linear=True),
+    _spec("emu", 2, ("r*", "c*"), SortClass.RELATIVE, same_shape=True,
+          linear=True),
+    # -- products ----------------------------------------------------------
+    _spec("mmu", 2, ("r1", "c2"), SortClass.EQUIVARIANT, inner_dims=True),
+    _spec("opd", 2, ("r1", "r2"), SortClass.EQUIVARIANT, same_cols=True,
+          order_card_one=(2,)),
+    _spec("cpd", 2, ("c1", "c2"), SortClass.RELATIVE, same_rows=True),
+    _spec("sol", 2, ("c1", "c2"), SortClass.RELATIVE, same_rows=True,
+          tall=True),
+    # -- unary -------------------------------------------------------------
+    _spec("tra", 1, ("c1", "r1"), SortClass.FULL, order_card_one=(1,)),
+    _spec("inv", 1, ("r1", "c1"), SortClass.FULL, square=True),
+    _spec("evc", 1, ("r1", "c1"), SortClass.FULL, square=True),
+    _spec("evl", 1, ("r1", "1"), SortClass.FULL, square=True),
+    _spec("chf", 1, ("r1", "c1"), SortClass.FULL, square=True,
+          symmetric=True),
+    _spec("qqr", 1, ("r1", "c1"), SortClass.EQUIVARIANT, tall=True),
+    _spec("rqr", 1, ("c1", "c1"), SortClass.INVARIANT, tall=True),
+    _spec("usv", 1, ("r1", "r1"), SortClass.EQUIVARIANT,
+          order_card_one=(1,)),
+    _spec("dsv", 1, ("c1", "c1"), SortClass.INVARIANT, tall=True),
+    _spec("vsv", 1, ("c1", "c1"), SortClass.INVARIANT, tall=True),
+    _spec("det", 1, ("1", "1"), SortClass.FULL, square=True),
+    _spec("rnk", 1, ("1", "1"), SortClass.INVARIANT),
+]}
+
+OP_NAMES: tuple[str, ...] = tuple(OPS)
+
+LINEAR_OPS: frozenset[str] = frozenset(
+    name for name, spec in OPS.items() if spec.linear)
+
+
+def spec_of(name: str) -> OpSpec:
+    """Look up an operation spec; raises ``KeyError`` with the known names."""
+    key = name.lower()
+    if key not in OPS:
+        raise KeyError(
+            f"unknown matrix operation {name!r}; known operations: "
+            f"{', '.join(OP_NAMES)}")
+    return OPS[key]

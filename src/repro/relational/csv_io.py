@@ -1,0 +1,121 @@
+"""Typed CSV input/output.
+
+Used by the examples and by the "R" baseline's load step (Fig. 15 includes
+CSV load time for R).  Types can be given explicitly or inferred from the
+data; dates (``YYYY-MM-DD``) and times (``HH:MM[:SS]``) are recognized.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime as _dt
+import io
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.bat.bat import DataType
+from repro.errors import CsvError
+from repro.relational.relation import Relation
+
+
+def _parse_date(text: str) -> _dt.date | None:
+    try:
+        return _dt.date.fromisoformat(text)
+    except ValueError:
+        return None
+
+
+def _parse_time(text: str) -> _dt.time | None:
+    parts = text.split(":")
+    if len(parts) not in (2, 3):
+        return None
+    try:
+        hour, minute = int(parts[0]), int(parts[1])
+        second = int(parts[2]) if len(parts) == 3 else 0
+        return _dt.time(hour, minute, second)
+    except ValueError:
+        return None
+
+
+def infer_cell(text: str) -> Any:
+    """Parse one CSV cell into the most specific python value."""
+    if text == "" or text.lower() in ("null", "nan", "na"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    date = _parse_date(text)
+    if date is not None:
+        return date
+    time = _parse_time(text)
+    if time is not None:
+        return time
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def _coerce_column(values: list[Any]) -> list[Any]:
+    """Promote mixed int/float columns to float, mixed other to str."""
+    kinds = {type(v) for v in values if v is not None}
+    if kinds <= {int}:
+        return values
+    if kinds <= {int, float}:
+        return [None if v is None else float(v) for v in values]
+    if len(kinds) > 1:
+        return [None if v is None else str(v) for v in values]
+    return values
+
+
+def read_csv(source: str | Path | io.TextIOBase,
+             types: dict[str, DataType] | None = None,
+             delimiter: str = ",") -> Relation:
+    """Read a CSV file (with header row) into a relation."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", newline="") as handle:
+            return read_csv(handle, types, delimiter)
+    reader = csv.reader(source, delimiter=delimiter)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise CsvError("empty CSV input (no header row)") from None
+    header = [h.strip() for h in header]
+    columns: list[list[Any]] = [[] for _ in header]
+    for line_no, row in enumerate(reader, start=2):
+        if len(row) != len(header):
+            raise CsvError(
+                f"row {line_no} has {len(row)} fields, header has "
+                f"{len(header)}")
+        for i, cell in enumerate(row):
+            columns[i].append(infer_cell(cell.strip()))
+    data = {}
+    explicit = types or {}
+    for name, values in zip(header, columns):
+        if name not in explicit:
+            values = _coerce_column(values)
+        data[name] = values
+    return Relation.from_columns(data, explicit)
+
+
+def write_csv(relation: Relation, target: str | Path | io.TextIOBase,
+              delimiter: str = ",") -> None:
+    """Write a relation to CSV with a header row."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", newline="") as handle:
+            write_csv(relation, handle, delimiter)
+            return
+    writer = csv.writer(target, delimiter=delimiter)
+    writer.writerow(relation.names)
+    for row in relation.to_rows():
+        writer.writerow(["" if v is None else v for v in row])
+
+
+def from_csv_text(text: str,
+                  types: dict[str, DataType] | None = None) -> Relation:
+    """Convenience: parse CSV from an in-memory string."""
+    return read_csv(io.StringIO(text), types)

@@ -1,0 +1,145 @@
+"""Vectorized equi-joins.
+
+The join is the sorted-probe hash-join equivalent used by column stores:
+keys are factorized into dense integer codes, the right side is sorted once,
+and matches are found with two binary searches per left row — all as
+whole-column numpy operations, no per-row python work.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.bat.bat import BAT, DataType
+from repro.errors import RelationError, SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+def factorize(bats: Sequence[BAT]) -> np.ndarray:
+    """Combine one or more key columns into dense int64 codes.
+
+    Equal rows get equal codes.  Columns are folded pairwise through
+    ``np.unique`` so codes stay dense and cannot overflow.
+    """
+    if not bats:
+        raise RelationError("factorize requires at least one column")
+    codes: np.ndarray | None = None
+    for bat in bats:
+        _, col_codes = np.unique(bat.tail, return_inverse=True)
+        col_codes = col_codes.astype(np.int64)
+        if codes is None:
+            codes = col_codes
+        else:
+            k = int(col_codes.max()) + 1 if len(col_codes) else 1
+            combined = codes * k + col_codes
+            _, codes = np.unique(combined, return_inverse=True)
+            codes = codes.astype(np.int64)
+    assert codes is not None
+    return codes
+
+
+def factorize_pair(left: Sequence[BAT],
+                   right: Sequence[BAT]) -> tuple[np.ndarray, np.ndarray]:
+    """Factorize two key lists into a *shared* code space.
+
+    Joining requires codes that are comparable across the two inputs, so the
+    key columns are concatenated before factorization and the codes split
+    back afterwards.
+    """
+    if len(left) != len(right):
+        raise RelationError("join key lists have different lengths")
+    combined_bats = []
+    for lcol, rcol in zip(left, right):
+        lc, rc = lcol, rcol
+        if lc.dtype is not rc.dtype:
+            if lc.dtype.is_numeric and rc.dtype.is_numeric:
+                lc, rc = lc.cast(DataType.DBL), rc.cast(DataType.DBL)
+            else:
+                raise RelationError(
+                    f"cannot join keys of types {lc.dtype.value} and "
+                    f"{rc.dtype.value}")
+        combined_bats.append(lc.append(rc))
+    codes = factorize(combined_bats)
+    n_left = len(left[0])
+    return codes[:n_left], codes[n_left:]
+
+
+def join_positions(left_keys: Sequence[BAT], right_keys: Sequence[BAT],
+                   how: str = "inner") -> tuple[np.ndarray, np.ndarray]:
+    """Matching position pairs (lpos, rpos) for an equi-join.
+
+    For ``how="left"`` unmatched left rows appear with rpos ``-1``.
+    Duplicate keys on either side produce the full cross of matches.
+    """
+    if how not in ("inner", "left"):
+        raise RelationError(f"unsupported join type {how!r}")
+    lcodes, rcodes = factorize_pair(left_keys, right_keys)
+    order_r = np.argsort(rcodes, kind="stable")
+    sorted_r = rcodes[order_r]
+    lo = np.searchsorted(sorted_r, lcodes, side="left")
+    hi = np.searchsorted(sorted_r, lcodes, side="right")
+    counts = hi - lo
+    if how == "left":
+        out_counts = np.maximum(counts, 1)
+    else:
+        out_counts = counts
+    total = int(out_counts.sum())
+    lpos = np.repeat(np.arange(len(lcodes), dtype=np.int64), out_counts)
+    starts = np.repeat(lo, out_counts)
+    group_offsets = (np.arange(total, dtype=np.int64)
+                     - np.repeat(np.cumsum(out_counts) - out_counts,
+                                 out_counts))
+    sorted_idx = starts + group_offsets
+    if how == "left":
+        matched = np.repeat(counts > 0, out_counts)
+        rpos = np.full(total, -1, dtype=np.int64)
+        rpos[matched] = order_r[sorted_idx[matched]]
+    else:
+        rpos = order_r[sorted_idx]
+    return lpos, rpos
+
+
+def hash_join(left: Relation, right: Relation,
+              left_on: Sequence[str], right_on: Sequence[str],
+              how: str = "inner") -> tuple[np.ndarray, np.ndarray]:
+    """Equi-join returning matching storage positions for both inputs."""
+    return join_positions(left.bats(left_on), right.bats(right_on), how)
+
+
+def join(left: Relation, right: Relation, left_on: Sequence[str],
+         right_on: Sequence[str], how: str = "inner",
+         drop_right_keys: bool = False) -> Relation:
+    """Equi-join producing a relation with all columns of both inputs.
+
+    Column names must not clash (after optionally dropping the right key
+    columns); rename beforehand if they do.
+    """
+    lpos, rpos = hash_join(left, right, left_on, right_on, how)
+    right_names = [n for n in right.names
+                   if not (drop_right_keys and n in right_on)]
+    overlap = set(left.names) & set(right_names)
+    if overlap:
+        raise SchemaError(
+            f"join would produce duplicate attributes {sorted(overlap)}; "
+            "rename first")
+    columns = [col.fetch(lpos) for col in left.columns]
+    if how == "left":
+        safe_rpos = np.where(rpos < 0, 0, rpos)
+        for name in right_names:
+            col = right.column(name).fetch(safe_rpos)
+            # Null out unmatched rows.
+            nil = BAT.constant(None, len(rpos), col.dtype) \
+                if col.dtype is not DataType.BOOL else None
+            if nil is not None:
+                tail = np.where(rpos < 0, nil.tail, col.tail)
+                if col.dtype is DataType.STR:
+                    tail = tail.astype(object)
+                col = BAT(col.dtype, tail.astype(col.dtype.numpy_dtype))
+            columns.append(col)
+    else:
+        columns += [right.column(name).fetch(rpos) for name in right_names]
+    schema = left.schema.concat(right.schema.project(right_names))
+    return Relation(schema, columns)

@@ -1,0 +1,208 @@
+"""Relations: a schema plus one aligned BAT per attribute."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.bat.bat import BAT, DataType, infer_type
+from repro.bat.sorting import check_key, order_by
+from repro.errors import AlignmentError, RelationError, SchemaError
+from repro.relational.schema import Attribute, Schema
+
+
+class Relation:
+    """An immutable relation stored column-wise.
+
+    The logical model treats a relation as a set of tuples (paper §3.1); the
+    physical representation is a list of aligned BATs, exactly as MonetDB
+    stores tables.  Tuple order in storage carries no meaning — relational
+    matrix operations derive their row order from order schemas.
+    """
+
+    __slots__ = ("schema", "columns")
+
+    def __init__(self, schema: Schema, columns: Sequence[BAT]):
+        if len(schema) != len(columns):
+            raise SchemaError(
+                f"schema has {len(schema)} attributes but {len(columns)} "
+                "columns were supplied")
+        n = None
+        for attr, col in zip(schema, columns):
+            if col.dtype is not attr.dtype:
+                raise SchemaError(
+                    f"column for attribute {attr.name!r} has type "
+                    f"{col.dtype.value}, schema says {attr.dtype.value}")
+            if n is None:
+                n = len(col)
+            elif len(col) != n:
+                raise AlignmentError(
+                    f"column {attr.name!r} has {len(col)} rows, "
+                    f"expected {n}")
+        self.schema = schema
+        self.columns = tuple(columns)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_columns(cls, data: dict[str, Sequence[Any]] |
+                     Iterable[tuple[str, Sequence[Any]]],
+                     types: dict[str, DataType] | None = None) -> "Relation":
+        """Build a relation from named value sequences (types inferred)."""
+        if isinstance(data, dict):
+            items = list(data.items())
+        else:
+            items = list(data)
+        types = types or {}
+        attrs: list[Attribute] = []
+        bats: list[BAT] = []
+        for name, values in items:
+            if isinstance(values, BAT):
+                bat = values
+            elif isinstance(values, np.ndarray) and values.dtype != object:
+                bat = BAT.from_array(values, types.get(name))
+            else:
+                bat = BAT.from_values(list(values), types.get(name))
+            attrs.append(Attribute(name, bat.dtype))
+            bats.append(bat)
+        return cls(Schema(attrs), bats)
+
+    @classmethod
+    def from_rows(cls, names: Sequence[str], rows: Sequence[Sequence[Any]],
+                  types: dict[str, DataType] | None = None) -> "Relation":
+        """Build a relation from tuples (the paper's examples are given
+        row-wise)."""
+        columns = {name: [row[i] for row in rows]
+                   for i, name in enumerate(names)}
+        return cls.from_columns(columns, types)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Relation":
+        return cls(schema, [BAT(a.dtype,
+                                np.empty(0, dtype=a.dtype.numpy_dtype))
+                            for a in schema])
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def nrows(self) -> int:
+        if not self.columns:
+            return 0
+        return len(self.columns[0])
+
+    def __len__(self) -> int:
+        return self.nrows
+
+    @property
+    def names(self) -> list[str]:
+        return self.schema.names
+
+    def column(self, name: str) -> BAT:
+        return self.columns[self.schema.index(name)]
+
+    def bats(self, names: Iterable[str] | None = None) -> list[BAT]:
+        """The BATs for the given attributes, in the given order."""
+        if names is None:
+            return list(self.columns)
+        return [self.column(n) for n in names]
+
+    def row(self, i: int) -> tuple:
+        return tuple(col.python_value(i) for col in self.columns)
+
+    def to_rows(self) -> list[tuple]:
+        """Decode the relation into python row tuples."""
+        decoded = [col.python_values() for col in self.columns]
+        return [tuple(col[i] for col in decoded) for i in range(self.nrows)]
+
+    def to_dict(self) -> dict[str, list]:
+        return {name: col.python_values()
+                for name, col in zip(self.names, self.columns)}
+
+    # -- structure helpers -------------------------------------------------
+
+    def replace_columns(self, **replacements: BAT) -> "Relation":
+        """New relation with some columns swapped (types must agree)."""
+        columns = list(self.columns)
+        for name, bat in replacements.items():
+            columns[self.schema.index(name)] = bat
+        return Relation(self.schema, columns)
+
+    def numeric_attribute_names(self) -> list[str]:
+        return [a.name for a in self.schema if a.dtype.is_numeric]
+
+    def is_key(self, names: Sequence[str]) -> bool:
+        """Whether the named attributes uniquely identify every tuple."""
+        return check_key(self.bats(names))
+
+    def sorted_by(self, names: Sequence[str]) -> "Relation":
+        """The relation with its storage order set to the sort by ``names``."""
+        positions = order_by(self.bats(names))
+        return Relation(self.schema,
+                        [col.fetch(positions) for col in self.columns])
+
+    def sort_positions(self, names: Sequence[str]) -> np.ndarray:
+        return order_by(self.bats(names))
+
+    # -- comparison helpers (tests) ----------------------------------------
+
+    def same_rows(self, other: "Relation", tolerance: float = 1e-9) -> bool:
+        """Set-equality of rows, with tolerance on float attributes."""
+        if self.schema.names != other.schema.names:
+            return False
+        if self.nrows != other.nrows:
+            return False
+        def canonical(rel: Relation) -> list[tuple]:
+            rows = []
+            for row in rel.to_rows():
+                rows.append(tuple(
+                    round(v, 9) if isinstance(v, float) else v
+                    for v in row))
+            return sorted(rows, key=lambda r: tuple(str(x) for x in r))
+        left, right = canonical(self), canonical(other)
+        for lrow, rrow in zip(left, right):
+            for lv, rv in zip(lrow, rrow):
+                if isinstance(lv, float) and isinstance(rv, float):
+                    if abs(lv - rv) > tolerance:
+                        return False
+                elif lv != rv:
+                    return False
+        return True
+
+    # -- display -----------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (f"Relation({', '.join(self.names)}; "
+                f"{self.nrows} rows)")
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+    def pretty(self, max_rows: int = 20) -> str:
+        """Render an aligned ASCII table (used by examples and the REPL)."""
+        header = self.names
+        rows = self.to_rows()[:max_rows]
+        def fmt(v: Any) -> str:
+            if v is None:
+                return "null"
+            if isinstance(v, float):
+                return f"{v:.4g}"
+            return str(v)
+        body = [[fmt(v) for v in row] for row in rows]
+        widths = [max(len(h), *(len(r[i]) for r in body)) if body else len(h)
+                  for i, h in enumerate(header)]
+        lines = [" | ".join(h.ljust(w) for h, w in zip(header, widths))]
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in body:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.nrows > max_rows:
+            lines.append(f"... ({self.nrows} rows total)")
+        return "\n".join(lines)
+
+
+def require_same_length(left: Relation, right: Relation,
+                        operation: str) -> None:
+    if left.nrows != right.nrows:
+        raise RelationError(
+            f"{operation} requires equal cardinalities, got "
+            f"{left.nrows} and {right.nrows}")

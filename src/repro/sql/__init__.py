@@ -1,0 +1,21 @@
+"""SQL front end with the RMA syntax extension.
+
+The paper extends MonetDB's SQL parser so relational matrix operations are
+available in the FROM clause (§7.2):
+
+.. code-block:: sql
+
+    SELECT * FROM INV(rating BY User);
+    SELECT * FROM MMU(w4 BY C, w3 BY U) AS w5 CROSS JOIN (...) AS t;
+
+This package provides the same surface on our engine: a lexer, a recursive
+descent parser, a logical planner with a small rule-based optimizer
+(predicate pushdown, projection pruning, join ordering), and a BAT executor.
+:class:`~repro.sql.session.Session` ties it to a catalog.
+"""
+
+from repro.sql.session import Session
+from repro.sql.parser import parse_sql
+from repro.sql.lexer import tokenize
+
+__all__ = ["Session", "parse_sql", "tokenize"]

@@ -1,0 +1,146 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+    "ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "AS", "AND", "OR", "NOT",
+    "JOIN", "INNER", "LEFT", "OUTER", "CROSS", "ON", "IS", "NULL",
+    "TRUE", "FALSE", "BETWEEN", "IN", "LIKE", "CASE", "WHEN", "THEN",
+    "ELSE", "END", "CREATE", "TABLE", "DROP", "INSERT", "INTO", "VALUES",
+    "IF", "EXISTS", "UNION", "ALL", "DATE", "TIME", "CAST",
+}
+
+SYMBOLS = ("<>", "!=", "<=", ">=", "||", "<", ">", "=", "(", ")", ",",
+           "+", "-", "*", "/", "%", ".", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of: KEYWORD, IDENT, NUMBER, STRING, SYMBOL, EOF.
+    Keywords are upper-cased; identifiers keep their original spelling
+    (quoted identifiers via double quotes preserve case and may collide
+    with keywords).
+    """
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind == "KEYWORD" and self.value in words
+
+    def is_symbol(self, *symbols: str) -> bool:
+        return self.kind == "SYMBOL" and self.value in symbols
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i, line, col = 0, 1, 1
+    n = len(text)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and text[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if text.startswith("--", i):
+            while i < n and text[i] != "\n":
+                advance(1)
+            continue
+        start_line, start_col = line, col
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    if j + 1 < n and (text[j + 1].isdigit()
+                                      or text[j + 1] in "+-"):
+                        seen_exp = True
+                        j += 2 if text[j + 1] in "+-" else 1
+                    else:
+                        break
+                else:
+                    break
+            tokens.append(Token("NUMBER", text[i:j], start_line, start_col))
+            advance(j - i)
+            continue
+        if ch == "'":
+            j = i + 1
+            parts = []
+            while True:
+                if j >= n:
+                    raise SqlSyntaxError("unterminated string literal",
+                                         start_line, start_col)
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            tokens.append(Token("STRING", "".join(parts),
+                                start_line, start_col))
+            advance(j + 1 - i)
+            continue
+        if ch == '"':
+            j = text.find('"', i + 1)
+            if j < 0:
+                raise SqlSyntaxError("unterminated quoted identifier",
+                                     start_line, start_col)
+            tokens.append(Token("IDENT", text[i + 1:j],
+                                start_line, start_col))
+            advance(j + 1 - i)
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, start_line, start_col))
+            else:
+                tokens.append(Token("IDENT", word, start_line, start_col))
+            advance(j - i)
+            continue
+        matched = False
+        for sym in SYMBOLS:
+            if text.startswith(sym, i):
+                tokens.append(Token("SYMBOL", sym, start_line, start_col))
+                advance(len(sym))
+                matched = True
+                break
+        if not matched:
+            raise SqlSyntaxError(f"unexpected character {ch!r}",
+                                 start_line, start_col)
+    tokens.append(Token("EOF", "", line, col))
+    return tokens

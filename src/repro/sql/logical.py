@@ -1,0 +1,365 @@
+"""Logical query plans and AST analysis utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional
+
+from repro.errors import PlanError
+from repro.sql import ast
+
+AGGREGATE_FUNCTIONS = {"AVG": "avg", "SUM": "sum", "COUNT": "count",
+                       "MIN": "min", "MAX": "max", "VAR": "var",
+                       "STDDEV": "std"}
+
+
+class Plan:
+    """Base class of logical plan nodes."""
+
+    def children(self) -> tuple["Plan", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Scan(Plan):
+    table: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class SubqueryScan(Plan):
+    plan: Plan
+    alias: str
+
+    def children(self):
+        return (self.plan,)
+
+
+@dataclass(frozen=True)
+class Rma(Plan):
+    """A relational matrix operation node: op over one or two inputs."""
+
+    op: str
+    inputs: tuple[Plan, ...]
+    by: tuple[tuple[str, ...], ...]
+    alias: Optional[str]
+
+    def children(self):
+        return self.inputs
+
+
+@dataclass(frozen=True)
+class Filter(Plan):
+    child: Plan
+    predicate: ast.Expr
+
+    def children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class JoinPlan(Plan):
+    kind: str  # "inner", "left", "cross"
+    left: Plan
+    right: Plan
+    condition: Optional[ast.Expr] = None
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Project(Plan):
+    """Evaluate expressions into named output columns."""
+
+    child: Plan
+    items: tuple[ast.SelectItem, ...]
+
+    def children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class AggregateSpecNode:
+    func: str          # relational aggregate name ("sum", "avg", ...)
+    argument: ast.Expr | None  # None for count(*)
+    distinct: bool
+    out_name: str
+
+
+@dataclass(frozen=True)
+class Aggregate(Plan):
+    child: Plan
+    keys: tuple[ast.Expr, ...]
+    key_names: tuple[str, ...]
+    aggregates: tuple[AggregateSpecNode, ...]
+
+    def children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Distinct(Plan):
+    child: Plan
+
+    def children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Sort(Plan):
+    child: Plan
+    items: tuple[ast.OrderItem, ...]
+
+    def children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Limit(Plan):
+    child: Plan
+    count: int
+    offset: int = 0
+
+    def children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Prune(Plan):
+    """Advisory projection: keep only the named columns (added by the
+    optimizer below joins; unqualified names)."""
+
+    child: Plan
+    names: tuple[str, ...]
+
+    def children(self):
+        return (self.child,)
+
+
+# -- expression analysis -------------------------------------------------------
+
+def walk_expr(expr: ast.Expr) -> Iterator[ast.Expr]:
+    """Yield the expression and all sub-expressions."""
+    yield expr
+    if isinstance(expr, ast.BinaryOp):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, ast.UnaryOp):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, ast.FunctionCall):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+    elif isinstance(expr, ast.IsNull):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, ast.Between):
+        yield from walk_expr(expr.operand)
+        yield from walk_expr(expr.low)
+        yield from walk_expr(expr.high)
+    elif isinstance(expr, ast.InList):
+        yield from walk_expr(expr.operand)
+        for item in expr.items:
+            yield from walk_expr(item)
+    elif isinstance(expr, ast.CaseWhen):
+        for cond, value in expr.branches:
+            yield from walk_expr(cond)
+            yield from walk_expr(value)
+        if expr.otherwise is not None:
+            yield from walk_expr(expr.otherwise)
+
+
+def column_refs(expr: ast.Expr) -> list[ast.ColumnRef]:
+    return [e for e in walk_expr(expr) if isinstance(e, ast.ColumnRef)]
+
+
+def contains_aggregate(expr: ast.Expr) -> bool:
+    return any(isinstance(e, ast.FunctionCall)
+               and e.name in AGGREGATE_FUNCTIONS
+               for e in walk_expr(expr))
+
+
+def aggregate_calls(expr: ast.Expr) -> list[ast.FunctionCall]:
+    return [e for e in walk_expr(expr)
+            if isinstance(e, ast.FunctionCall)
+            and e.name in AGGREGATE_FUNCTIONS]
+
+
+def split_conjuncts(expr: ast.Expr) -> list[ast.Expr]:
+    """Break a predicate into AND-connected conjuncts."""
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: list[ast.Expr]) -> Optional[ast.Expr]:
+    if not conjuncts:
+        return None
+    expr = conjuncts[0]
+    for part in conjuncts[1:]:
+        expr = ast.BinaryOp("AND", expr, part)
+    return expr
+
+
+def replace_expr(expr: ast.Expr, mapping: dict[ast.Expr, ast.Expr]) \
+        -> ast.Expr:
+    """Structurally replace sub-expressions (used to rewrite aggregates)."""
+    if expr in mapping:
+        return mapping[expr]
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(expr.op, replace_expr(expr.left, mapping),
+                            replace_expr(expr.right, mapping))
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, replace_expr(expr.operand, mapping))
+    if isinstance(expr, ast.FunctionCall):
+        return ast.FunctionCall(
+            expr.name,
+            tuple(replace_expr(a, mapping) for a in expr.args),
+            expr.distinct)
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(replace_expr(expr.operand, mapping), expr.negated)
+    if isinstance(expr, ast.Between):
+        return ast.Between(replace_expr(expr.operand, mapping),
+                           replace_expr(expr.low, mapping),
+                           replace_expr(expr.high, mapping), expr.negated)
+    if isinstance(expr, ast.InList):
+        return ast.InList(replace_expr(expr.operand, mapping),
+                          tuple(replace_expr(i, mapping)
+                                for i in expr.items), expr.negated)
+    if isinstance(expr, ast.CaseWhen):
+        return ast.CaseWhen(
+            tuple((replace_expr(c, mapping), replace_expr(v, mapping))
+                  for c, v in expr.branches),
+            replace_expr(expr.otherwise, mapping)
+            if expr.otherwise is not None else None)
+    return expr
+
+
+# -- plan construction ----------------------------------------------------------
+
+_ANON = 0
+
+
+def _fresh_alias(prefix: str) -> str:
+    global _ANON
+    _ANON += 1
+    return f"_{prefix}{_ANON}"
+
+
+def default_output_name(expr: ast.Expr, index: int) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, ast.FunctionCall):
+        return expr.name.lower()
+    return f"col{index}"
+
+
+def build_table_expr(node: ast.TableExpr) -> Plan:
+    if isinstance(node, ast.TableRef):
+        return Scan(node.name, node.alias or node.name)
+    if isinstance(node, ast.SubqueryRef):
+        return SubqueryScan(build_select(node.query), node.alias)
+    if isinstance(node, ast.RmaCall):
+        inputs = tuple(build_table_expr(arg.table) for arg in node.args)
+        by = tuple(arg.by for arg in node.args)
+        return Rma(node.op, inputs, by, node.alias)
+    if isinstance(node, ast.Join):
+        return JoinPlan(node.kind, build_table_expr(node.left),
+                        build_table_expr(node.right), node.condition)
+    raise PlanError(f"unhandled table expression {node!r}")
+
+
+def build_select(select: ast.Select) -> Plan:
+    """Translate a SELECT AST into a logical plan."""
+    if select.source is None:
+        plan: Plan = Scan("_dual", "_dual")
+    else:
+        plan = build_table_expr(select.source)
+    if select.where is not None:
+        plan = Filter(plan, select.where)
+
+    has_aggregates = (bool(select.group_by)
+                      or any(contains_aggregate(i.expr)
+                             for i in select.items)
+                      or (select.having is not None
+                          and contains_aggregate(select.having)))
+
+    if has_aggregates:
+        plan, items, having = _plan_aggregation(plan, select)
+    else:
+        items = select.items
+        having = select.having
+        if having is not None:
+            raise PlanError("HAVING without aggregation or GROUP BY")
+
+    # SQL clause order: ... GROUP BY -> HAVING -> SELECT -> DISTINCT ->
+    # ORDER BY -> LIMIT.  ORDER BY may reference both select aliases and
+    # source columns; Project keeps source columns as hidden bindings so the
+    # Sort above it can resolve them.
+    if having is not None:
+        plan = Filter(plan, having)
+    plan = Project(plan, tuple(items))
+    if select.distinct:
+        plan = Distinct(plan)
+    if select.order_by:
+        plan = Sort(plan, select.order_by)
+    if select.limit is not None:
+        plan = Limit(plan, select.limit, select.offset)
+    return plan
+
+
+def _plan_aggregation(plan: Plan, select: ast.Select) \
+        -> tuple[Plan, tuple[ast.SelectItem, ...], Optional[ast.Expr]]:
+    """Insert an Aggregate node and rewrite select items / HAVING.
+
+    Aggregate calls become references to generated columns; group keys are
+    available under generated names as well.
+    """
+    mapping: dict[ast.Expr, ast.Expr] = {}
+    specs: list[AggregateSpecNode] = []
+    seen: dict[ast.Expr, str] = {}
+
+    sources = [item.expr for item in select.items]
+    if select.having is not None:
+        sources.append(select.having)
+    counter = 0
+    for source in sources:
+        for call in aggregate_calls(source):
+            if call in seen:
+                continue
+            counter += 1
+            out_name = f"_agg{counter}"
+            seen[call] = out_name
+            func = AGGREGATE_FUNCTIONS[call.name]
+            if len(call.args) != 1:
+                raise PlanError(
+                    f"{call.name} takes exactly one argument")
+            arg = call.args[0]
+            argument: ast.Expr | None
+            if isinstance(arg, ast.Star):
+                if call.name != "COUNT":
+                    raise PlanError(f"{call.name}(*) is not valid")
+                argument = None
+            else:
+                argument = arg
+            specs.append(AggregateSpecNode(func, argument, call.distinct,
+                                           out_name))
+            mapping[call] = ast.ColumnRef(out_name)
+
+    key_names = []
+    key_exprs = list(select.group_by)
+    for i, key in enumerate(key_exprs):
+        name = default_output_name(key, i)
+        key_name = f"_key{i}_{name}"
+        key_names.append(key_name)
+        mapping[key] = ast.ColumnRef(key_name)
+
+    plan = Aggregate(plan, tuple(key_exprs), tuple(key_names), tuple(specs))
+
+    new_items = []
+    for index, item in enumerate(select.items):
+        rewritten = replace_expr(item.expr, mapping)
+        alias = item.alias or default_output_name(item.expr, index)
+        new_items.append(ast.SelectItem(rewritten, alias))
+    having = (replace_expr(select.having, mapping)
+              if select.having is not None else None)
+    return plan, tuple(new_items), having

@@ -1,0 +1,143 @@
+"""SQL sessions: statements in, relations out."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bat.bat import DataType
+from repro.bat.catalog import Catalog
+from repro.core.config import RmaConfig
+from repro.errors import BindError, PlanError, SqlError
+from repro.relational.relation import Relation
+from repro.relational.ops import union_all
+from repro.sql import ast, logical
+from repro.sql.executor import Executor, ExpressionEvaluator, Frame
+from repro.sql.optimizer import optimize
+from repro.sql.parser import parse_sql
+
+_TYPE_NAMES = {
+    "INT": DataType.INT, "INTEGER": DataType.INT, "BIGINT": DataType.INT,
+    "SMALLINT": DataType.INT,
+    "DOUBLE": DataType.DBL, "FLOAT": DataType.DBL, "REAL": DataType.DBL,
+    "DECIMAL": DataType.DBL, "NUMERIC": DataType.DBL,
+    "VARCHAR": DataType.STR, "CHAR": DataType.STR, "TEXT": DataType.STR,
+    "STRING": DataType.STR,
+    "DATE": DataType.DATE, "TIME": DataType.TIME,
+    "BOOLEAN": DataType.BOOL, "BOOL": DataType.BOOL,
+}
+
+
+class Session:
+    """A connection-like object bound to a catalog.
+
+    >>> session = Session()
+    >>> session.register("r", some_relation)
+    >>> result = session.execute("SELECT * FROM INV(r BY T)")
+    """
+
+    def __init__(self, catalog: Catalog | None = None,
+                 config: RmaConfig | None = None,
+                 optimize_plans: bool = True):
+        self.catalog = catalog or Catalog()
+        self.config = config
+        self.optimize_plans = optimize_plans
+
+    # -- catalog helpers --------------------------------------------------------
+
+    def register(self, name: str, relation: Relation,
+                 replace: bool = True) -> None:
+        """Register an in-memory relation as a table."""
+        self.catalog.create(name, relation, replace=replace)
+
+    def table(self, name: str) -> Relation:
+        return self.catalog.get(name)
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(self, sql: str) -> Relation | None:
+        """Execute one SQL statement.
+
+        SELECT returns a relation; DDL/DML return None (INSERT returns
+        None after updating the catalog).
+        """
+        statement = parse_sql(sql)
+        if isinstance(statement, ast.Select):
+            return self._run_select(statement)
+        if isinstance(statement, ast.CreateTable):
+            return self._run_create(statement)
+        if isinstance(statement, ast.DropTable):
+            self.catalog.drop(statement.name, if_exists=statement.if_exists)
+            return None
+        if isinstance(statement, ast.InsertValues):
+            return self._run_insert(statement)
+        raise SqlError(f"unsupported statement {statement!r}")
+
+    def plan(self, sql: str) -> logical.Plan:
+        """Parse and optimize without executing (for tests/EXPLAIN)."""
+        statement = parse_sql(sql)
+        if not isinstance(statement, ast.Select):
+            raise PlanError("only SELECT statements can be planned")
+        plan = logical.build_select(statement)
+        if self.optimize_plans:
+            plan = optimize(plan, self.catalog)
+        return plan
+
+    def _run_select(self, statement: ast.Select) -> Relation:
+        plan = logical.build_select(statement)
+        if self.optimize_plans:
+            plan = optimize(plan, self.catalog)
+        executor = Executor(self.catalog, self.config)
+        frame = executor.run(plan)
+        return frame.to_plain_relation()
+
+    def _run_create(self, statement: ast.CreateTable) -> None:
+        if statement.source is not None:
+            relation = self._run_select(statement.source)
+            self.catalog.create(statement.name, relation)
+            return None
+        attrs = []
+        for column in statement.columns:
+            dtype = _TYPE_NAMES.get(column.type_name)
+            if dtype is None:
+                raise BindError(
+                    f"unknown column type {column.type_name!r}")
+            attrs.append((column.name, dtype))
+        from repro.relational.schema import Attribute, Schema
+        schema = Schema(Attribute(n, t) for n, t in attrs)
+        self.catalog.create(statement.name, Relation.empty(schema))
+        return None
+
+    def _run_insert(self, statement: ast.InsertValues) -> None:
+        target = self.catalog.get(statement.table)
+        names = list(statement.columns) or target.names
+        unknown = set(names) - set(target.names)
+        if unknown:
+            raise BindError(
+                f"unknown columns {sorted(unknown)} in INSERT")
+        rows: list[list[Any]] = []
+        dual = Relation.from_columns({"_one": [1]})
+        frame = Frame.from_relation(dual, None)
+        evaluator = ExpressionEvaluator(frame)
+        for row_exprs in statement.rows:
+            if len(row_exprs) != len(names):
+                raise PlanError(
+                    f"INSERT row has {len(row_exprs)} values for "
+                    f"{len(names)} columns")
+            row = []
+            for expr in row_exprs:
+                value = evaluator.eval(expr)
+                if hasattr(value, "tail"):
+                    raise PlanError("INSERT values must be constants")
+                row.append(value)
+            rows.append(row)
+        # Build a relation in target column order, filling missing with nil.
+        data: dict[str, list[Any]] = {n: [] for n in target.names}
+        for row in rows:
+            provided = dict(zip(names, row))
+            for n in target.names:
+                data[n].append(provided.get(n))
+        types = {n: target.schema.dtype(n) for n in target.names}
+        addition = Relation.from_columns(data, types)
+        self.catalog.create(statement.table,
+                            union_all(target, addition), replace=True)
+        return None

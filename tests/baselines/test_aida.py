@@ -1,0 +1,72 @@
+"""Tests for the AIDA baseline (pointer transfer vs conversion)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.aida import AidaTable, TransferStats
+from repro.relational import Relation
+
+
+@pytest.fixture
+def mixed_relation(weather):
+    # weather has STR + DBL columns: one convertible, two zero-copy.
+    return weather
+
+
+class TestTransfer:
+    def test_numeric_is_zero_copy(self, mixed_relation):
+        table = AidaTable(mixed_relation)
+        arrays = table.to_python(["H", "W"])
+        # zero copy: the returned array IS the BAT tail buffer
+        assert arrays["H"] is mixed_relation.column("H").tail
+        assert table.stats.zero_copy_columns == 2
+        assert table.stats.converted_columns == 0
+
+    def test_non_numeric_is_converted(self, mixed_relation):
+        table = AidaTable(mixed_relation)
+        arrays = table.to_python(["T"])
+        assert arrays["T"].dtype == object
+        assert table.stats.converted_columns == 1
+
+    def test_dates_are_converted(self):
+        import datetime as dt
+        rel = Relation.from_columns({
+            "d": [dt.date(2020, 1, 1), dt.date(2020, 1, 2)],
+            "x": [1.0, 2.0]})
+        table = AidaTable(rel)
+        arrays = table.to_python()
+        assert table.stats.converted_columns == 1
+        assert arrays["d"][0] == dt.date(2020, 1, 1)
+
+    def test_from_python_copies(self):
+        stats = TransferStats()
+        data = {"a": np.array([1.0, 2.0]), "b": np.array([1, 2])}
+        table = AidaTable.from_python(data, stats)
+        assert table.relation.names == ["a", "b"]
+        assert table.relation.schema.dtype("a").value == "double"
+        assert table.relation.schema.dtype("b").value == "int"
+
+    def test_from_python_objects(self):
+        table = AidaTable.from_python(
+            {"s": np.array(["x", "y"], dtype=object)})
+        assert table.relation.column("s").python_values() == ["x", "y"]
+
+    def test_matrix_stacks_numeric(self, mixed_relation):
+        table = AidaTable(mixed_relation)
+        m = table.matrix(["H", "W"])
+        assert m.shape == (4, 2)
+
+
+class TestRelationalSide:
+    def test_filter_project_join(self, users, ratings):
+        u = AidaTable(users)
+        r = AidaTable(Relation.from_columns(
+            {"U2": ratings.column("User"),
+             "Heat": ratings.column("Heat")}))
+        joined = u.join(r, ["User"], ["U2"])
+        mask = np.array([s == "CA" for s in
+                         joined.relation.column("State").python_values()])
+        ca = joined.filter(mask).project(["User", "Heat"])
+        assert sorted(ca.relation.to_rows()) == [("Ann", 1.5),
+                                                 ("Jan", 4.0)]
+        assert ca.nrows == 2

@@ -1,0 +1,99 @@
+"""Tests for the SciDB baseline (chunked arrays + array join)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.scidb import SciDbArray
+from repro.data.synthetic import uniform_pair
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def small_pair():
+    coords = np.array([5, 1, 3, 2, 4])
+    a = SciDbArray.build(coords, {"x": np.array([50.0, 10, 30, 20, 40])},
+                         chunk_size=2)
+    b = SciDbArray.build(np.array([1, 2, 3, 4, 5]),
+                         {"x": np.array([1.0, 2, 3, 4, 5])},
+                         chunk_size=2)
+    return a, b
+
+
+class TestBuild:
+    def test_sorted_chunks(self, small_pair):
+        a, _ = small_pair
+        coords, values = a.materialize()
+        assert list(coords) == [1, 2, 3, 4, 5]
+        assert list(values[0]) == [10.0, 20.0, 30.0, 40.0, 50.0]
+
+    def test_chunking(self, small_pair):
+        a, _ = small_pair
+        assert len(a.chunks) == 3  # 5 cells, chunk size 2
+        assert a.count == 5
+
+    def test_from_relation(self):
+        r, _ = uniform_pair(100, 3, seed=1)
+        array = SciDbArray.from_relation(r, "id1", chunk_size=16)
+        assert array.count == 100
+        assert array.attribute_names == ["x0", "x1", "x2"]
+
+
+class TestArrayJoinAdd:
+    def test_aligned_add(self, small_pair):
+        a, b = small_pair
+        out = a.add(b)
+        coords, values = out.materialize()
+        assert list(coords) == [1, 2, 3, 4, 5]
+        assert list(values[0]) == [11.0, 22.0, 33.0, 44.0, 55.0]
+
+    def test_partial_overlap(self):
+        a = SciDbArray.build(np.array([1, 2, 3]),
+                             {"x": np.array([1.0, 2.0, 3.0])})
+        b = SciDbArray.build(np.array([2, 3, 4]),
+                             {"x": np.array([20.0, 30.0, 40.0])})
+        out = a.add(b)
+        coords, values = out.materialize()
+        assert list(coords) == [2, 3]  # inner array join
+        assert list(values[0]) == [22.0, 33.0]
+
+    def test_no_overlap(self):
+        a = SciDbArray.build(np.array([1]), {"x": np.array([1.0])})
+        b = SciDbArray.build(np.array([9]), {"x": np.array([9.0])})
+        assert a.add(b).count == 0
+
+    def test_attribute_mismatch(self):
+        a = SciDbArray.build(np.array([1]), {"x": np.array([1.0])})
+        b = SciDbArray.build(np.array([1]), {"y": np.array([1.0])})
+        with pytest.raises(ReproError):
+            a.add(b)
+
+    def test_matches_engine_add(self):
+        r, s = uniform_pair(2_000, 4, seed=3)
+        a = SciDbArray.from_relation(r, "id1", chunk_size=256)
+        b = SciDbArray.from_relation(s, "id2", chunk_size=256)
+        out = a.add(b)
+        expected = r.column("x2").tail + s.column("x2").tail
+        _, values = out.materialize()
+        assert np.allclose(np.sort(values[2]), np.sort(expected))
+
+
+class TestFilterSum:
+    def test_filter(self, small_pair):
+        a, _ = small_pair
+        out = a.filter("x", ">", 25.0)
+        coords, values = out.materialize()
+        assert list(values[0]) == [30.0, 40.0, 50.0]
+
+    def test_filter_operators(self, small_pair):
+        a, _ = small_pair
+        assert a.filter("x", "=", 30.0).count == 1
+        assert a.filter("x", "<=", 20.0).count == 2
+
+    def test_bad_operator(self, small_pair):
+        a, _ = small_pair
+        with pytest.raises(ReproError):
+            a.filter("x", "!=", 1.0)
+
+    def test_sum(self, small_pair):
+        a, _ = small_pair
+        assert a.sum("x") == 150.0

@@ -1,0 +1,251 @@
+"""Unit tests for the BAT column type."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.bat.bat import (
+    BAT,
+    DataType,
+    NIL_INT,
+    align_check,
+    date_to_int,
+    infer_type,
+    int_to_date,
+    int_to_time,
+    time_to_int,
+)
+from repro.errors import AlignmentError, BatError, TypeMismatchError
+
+
+class TestConstruction:
+    def test_from_values_infers_int(self):
+        bat = BAT.from_values([1, 2, 3])
+        assert bat.dtype is DataType.INT
+        assert list(bat.tail) == [1, 2, 3]
+
+    def test_from_values_infers_double(self):
+        bat = BAT.from_values([1.5, 2.5])
+        assert bat.dtype is DataType.DBL
+
+    def test_from_values_infers_string(self):
+        bat = BAT.from_values(["a", "b"])
+        assert bat.dtype is DataType.STR
+
+    def test_from_values_infers_bool(self):
+        bat = BAT.from_values([True, False])
+        assert bat.dtype is DataType.BOOL
+
+    def test_from_values_infers_date(self):
+        bat = BAT.from_values([dt.date(2014, 4, 15)])
+        assert bat.dtype is DataType.DATE
+
+    def test_from_values_infers_time(self):
+        bat = BAT.from_values([dt.time(8, 30)])
+        assert bat.dtype is DataType.TIME
+
+    def test_all_none_defaults_to_string(self):
+        assert infer_type([None, None]) is DataType.STR
+
+    def test_empty_bat(self):
+        bat = BAT.from_values([], DataType.INT)
+        assert len(bat) == 0
+
+    def test_from_array_int(self):
+        bat = BAT.from_array(np.array([1, 2], dtype=np.int32))
+        assert bat.dtype is DataType.INT
+        assert bat.tail.dtype == np.int64
+
+    def test_from_array_rejects_unknown(self):
+        with pytest.raises(TypeMismatchError):
+            BAT.from_array(np.array([1 + 2j]))
+
+    def test_dense(self):
+        bat = BAT.dense(4)
+        assert list(bat.tail) == [0, 1, 2, 3]
+        assert bat.dtype is DataType.OID
+
+    def test_constant(self):
+        bat = BAT.constant(7.5, 3)
+        assert bat.dtype is DataType.DBL
+        assert list(bat.tail) == [7.5, 7.5, 7.5]
+
+    def test_tail_dtype_mismatch_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            BAT(DataType.INT, np.array([1.0, 2.0]))
+
+    def test_two_dimensional_tail_rejected(self):
+        with pytest.raises(BatError):
+            BAT(DataType.INT, np.zeros((2, 2), dtype=np.int64))
+
+    def test_datetime_values_rejected(self):
+        with pytest.raises(BatError):
+            BAT.from_values([dt.datetime(2020, 1, 1, 8, 0)])
+
+    def test_immutable_tail(self):
+        bat = BAT.from_values([1, 2, 3])
+        with pytest.raises(ValueError):
+            bat.tail[0] = 9
+
+
+class TestNil:
+    def test_nil_int(self):
+        bat = BAT.from_values([1, None, 3], DataType.INT)
+        assert bat.tail[1] == NIL_INT
+        assert bat.python_values() == [1, None, 3]
+        assert list(bat.is_nil()) == [False, True, False]
+
+    def test_nil_double_is_nan(self):
+        bat = BAT.from_values([1.0, None], DataType.DBL)
+        assert np.isnan(bat.tail[1])
+        assert bat.python_values() == [1.0, None]
+
+    def test_nil_string(self):
+        bat = BAT.from_values(["a", None])
+        assert bat.python_values() == ["a", None]
+        assert list(bat.is_nil()) == [False, True]
+
+    def test_bool_has_no_nil(self):
+        with pytest.raises(BatError):
+            BAT.from_values([True, None], DataType.BOOL)
+
+
+class TestTemporal:
+    def test_date_roundtrip(self):
+        day = dt.date(2017, 11, 30)
+        assert int_to_date(date_to_int(day)) == day
+
+    def test_epoch(self):
+        assert date_to_int(dt.date(1970, 1, 1)) == 0
+
+    def test_time_roundtrip(self):
+        moment = dt.time(13, 45, 12)
+        assert int_to_time(time_to_int(moment)) == moment
+
+    def test_date_column_decodes(self):
+        bat = BAT.from_values([dt.date(2014, 1, 2), dt.date(2014, 1, 1)])
+        assert bat.python_values() == [dt.date(2014, 1, 2),
+                                       dt.date(2014, 1, 1)]
+        assert bat.min() == dt.date(2014, 1, 1)
+
+
+class TestAccess:
+    def test_sel(self):
+        bat = BAT.from_values([10, 20, 30])
+        assert bat.sel(1) == 20
+        assert isinstance(bat.sel(1), int)
+
+    def test_sel_out_of_range(self):
+        bat = BAT.from_values([1])
+        with pytest.raises(BatError):
+            bat.sel(5)
+
+    def test_fetch(self):
+        bat = BAT.from_values([10, 20, 30, 40])
+        out = bat.fetch(np.array([3, 1]))
+        assert list(out.tail) == [40, 20]
+
+    def test_slice(self):
+        bat = BAT.from_values([1, 2, 3, 4])
+        assert list(bat.slice(1, 3).tail) == [2, 3]
+
+    def test_append(self):
+        a = BAT.from_values([1, 2])
+        b = BAT.from_values([3])
+        assert list(a.append(b).tail) == [1, 2, 3]
+
+    def test_append_type_mismatch(self):
+        with pytest.raises(TypeMismatchError):
+            BAT.from_values([1]).append(BAT.from_values(["x"]))
+
+    def test_iter_decodes(self):
+        bat = BAT.from_values(["x", "y"])
+        assert list(bat) == ["x", "y"]
+
+
+class TestCast:
+    def test_int_to_double(self):
+        bat = BAT.from_values([1, None, 3]).cast(DataType.DBL)
+        assert bat.dtype is DataType.DBL
+        assert bat.python_values() == [1.0, None, 3.0]
+
+    def test_double_to_int(self):
+        bat = BAT.from_values([1.0, None]).cast(DataType.INT)
+        assert bat.python_values() == [1, None]
+
+    def test_to_string(self):
+        bat = BAT.from_values([1, 2]).cast(DataType.STR)
+        assert bat.python_values() == ["1", "2"]
+
+    def test_identity_cast_returns_self(self):
+        bat = BAT.from_values([1])
+        assert bat.cast(DataType.INT) is bat
+
+    def test_unsupported_cast(self):
+        with pytest.raises(TypeMismatchError):
+            BAT.from_values(["a"]).cast(DataType.INT)
+
+    def test_as_float_rejects_strings(self):
+        with pytest.raises(TypeMismatchError):
+            BAT.from_values(["a"]).as_float()
+
+
+class TestAggregates:
+    def test_sum(self):
+        assert BAT.from_values([1, 2, 3]).sum() == 6
+
+    def test_avg(self):
+        assert BAT.from_values([1.0, 3.0]).avg() == 2.0
+
+    def test_min_max(self):
+        bat = BAT.from_values([5, 1, 9])
+        assert bat.min() == 1
+        assert bat.max() == 9
+
+    def test_min_max_strings(self):
+        bat = BAT.from_values(["pear", "apple"])
+        assert bat.min() == "apple"
+        assert bat.max() == "pear"
+
+    def test_sum_rejects_strings(self):
+        with pytest.raises(TypeMismatchError):
+            BAT.from_values(["a"]).sum()
+
+    def test_empty_min_raises(self):
+        with pytest.raises(BatError):
+            BAT.from_values([], DataType.INT).min()
+
+
+class TestKeyAndEquality:
+    def test_is_key_true(self):
+        assert BAT.from_values([3, 1, 2]).is_key()
+
+    def test_is_key_false(self):
+        assert not BAT.from_values([1, 1]).is_key()
+
+    def test_is_key_strings(self):
+        assert BAT.from_values(["a", "b"]).is_key()
+        assert not BAT.from_values(["a", "a"]).is_key()
+
+    def test_equality(self):
+        assert BAT.from_values([1, 2]) == BAT.from_values([1, 2])
+        assert BAT.from_values([1, 2]) != BAT.from_values([2, 1])
+
+    def test_equality_with_nan(self):
+        a = BAT.from_values([1.0, None])
+        b = BAT.from_values([1.0, None])
+        assert a == b
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(BAT.from_values([1]))
+
+
+class TestAlignCheck:
+    def test_aligned(self):
+        assert align_check(BAT.from_values([1]), BAT.from_values([2])) == 1
+
+    def test_misaligned(self):
+        with pytest.raises(AlignmentError):
+            align_check(BAT.from_values([1]), BAT.from_values([1, 2]))

@@ -1,0 +1,64 @@
+"""Tests for the table catalog."""
+
+import pytest
+
+from repro.bat.catalog import Catalog
+from repro.errors import CatalogError
+from repro.relational import Relation
+
+
+@pytest.fixture
+def relation():
+    return Relation.from_columns({"x": [1, 2]})
+
+
+class TestCatalog:
+    def test_create_and_get(self, relation):
+        catalog = Catalog()
+        catalog.create("trips", relation)
+        assert catalog.get("trips") is relation
+
+    def test_case_insensitive(self, relation):
+        catalog = Catalog()
+        catalog.create("Trips", relation)
+        assert catalog.get("TRIPS") is relation
+        assert "tRiPs" in catalog
+
+    def test_duplicate_rejected(self, relation):
+        catalog = Catalog()
+        catalog.create("t", relation)
+        with pytest.raises(CatalogError):
+            catalog.create("T", relation)
+
+    def test_replace(self, relation):
+        catalog = Catalog()
+        catalog.create("t", relation)
+        other = Relation.from_columns({"y": [1]})
+        catalog.create("t", other, replace=True)
+        assert catalog.get("t") is other
+
+    def test_drop(self, relation):
+        catalog = Catalog()
+        catalog.create("t", relation)
+        catalog.drop("t")
+        assert "t" not in catalog
+
+    def test_drop_missing(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.drop("nope")
+
+    def test_drop_if_exists(self):
+        Catalog().drop("nope", if_exists=True)
+
+    def test_get_missing(self):
+        with pytest.raises(CatalogError):
+            Catalog().get("nope")
+
+    def test_names_sorted(self, relation):
+        catalog = Catalog()
+        catalog.create("b", relation)
+        catalog.create("a", relation)
+        assert catalog.names() == ["a", "b"]
+        assert len(catalog) == 2
+        assert set(iter(catalog)) == {"a", "b"}

@@ -1,0 +1,104 @@
+"""Tests for sparse-aware arithmetic and RLE compression (Table 5 machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bat.bat import BAT, DataType
+from repro.bat.compression import (
+    add_sparse_aware,
+    estimate_density,
+    rle_add_scalar,
+    rle_decode,
+    rle_encode,
+    sparse_add,
+)
+from repro.errors import BatError
+
+values = st.lists(
+    st.one_of(st.just(0.0),
+              st.floats(min_value=-100, max_value=100,
+                        allow_nan=False, allow_infinity=False)),
+    min_size=0, max_size=200)
+
+
+class TestSparseAdd:
+    @given(values, values)
+    @settings(max_examples=80, deadline=None)
+    def test_equals_dense_add(self, a, b):
+        n = min(len(a), len(b))
+        va = np.array(a[:n], dtype=np.float64)
+        vb = np.array(b[:n], dtype=np.float64)
+        assert np.allclose(sparse_add(va, vb), va + vb)
+
+    def test_all_zero(self):
+        out = sparse_add(np.zeros(10), np.zeros(10))
+        assert not out.any()
+
+    def test_bat_level_dispatch(self):
+        a = BAT.from_values([0.0, 1.0, 0.0, 2.0])
+        b = BAT.from_values([0.0, 0.0, 3.0, 4.0])
+        out = add_sparse_aware(a, b)
+        assert list(out.tail) == [0.0, 1.0, 3.0, 6.0]
+
+    def test_int_preserved(self):
+        a = BAT.from_values([0, 1])
+        b = BAT.from_values([2, 0])
+        out = add_sparse_aware(a, b)
+        assert out.dtype is DataType.INT
+        assert list(out.tail) == [2, 1]
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(BatError):
+            add_sparse_aware(BAT.from_values([1.0]),
+                             BAT.from_values([1.0, 2.0]))
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(BatError):
+            add_sparse_aware(BAT.from_values(["a"]), BAT.from_values(["b"]))
+
+
+class TestDensityEstimate:
+    def test_dense(self):
+        assert estimate_density(np.ones(100)) == 1.0
+
+    def test_sparse(self):
+        assert estimate_density(np.zeros(100)) == 0.0
+
+    def test_empty(self):
+        assert estimate_density(np.array([])) == 0.0
+
+    def test_sampled_estimate_close(self):
+        rng = np.random.default_rng(0)
+        data = (rng.random(100_000) < 0.3).astype(float)
+        estimate = estimate_density(data)
+        assert 0.2 < estimate < 0.4
+
+
+class TestRle:
+    @given(st.lists(st.integers(-3, 3), min_size=0, max_size=300))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip(self, data):
+        array = np.array(data, dtype=np.float64)
+        assert np.array_equal(rle_decode(rle_encode(array)), array)
+
+    def test_run_count(self):
+        column = rle_encode(np.array([1.0, 1.0, 2.0, 2.0, 2.0, 1.0]))
+        assert column.run_count == 3
+        assert list(column.values) == [1.0, 2.0, 1.0]
+
+    def test_compression_ratio_constant_column(self):
+        column = rle_encode(np.zeros(1000))
+        assert column.compression_ratio() < 0.01
+
+    def test_add_scalar_without_decode(self):
+        column = rle_encode(np.array([1.0, 1.0, 5.0]))
+        shifted = rle_add_scalar(column, 2.0)
+        assert np.array_equal(rle_decode(shifted),
+                              np.array([3.0, 3.0, 7.0]))
+
+    def test_empty(self):
+        column = rle_encode(np.array([], dtype=np.float64))
+        assert column.run_count == 0
+        assert len(rle_decode(column)) == 0

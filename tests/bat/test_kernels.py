@@ -1,0 +1,155 @@
+"""Unit and property tests for vectorized BAT kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bat.bat import BAT, DataType
+from repro.bat import kernels
+from repro.errors import BatError, TypeMismatchError
+
+floats = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestBinop:
+    def test_add_int(self):
+        out = kernels.binop("+", BAT.from_values([1, 2]),
+                            BAT.from_values([10, 20]))
+        assert out.dtype is DataType.INT
+        assert list(out.tail) == [11, 22]
+
+    def test_add_mixed_promotes(self):
+        out = kernels.binop("+", BAT.from_values([1, 2]),
+                            BAT.from_values([0.5, 0.5]))
+        assert out.dtype is DataType.DBL
+
+    def test_div_always_double(self):
+        out = kernels.binop("/", BAT.from_values([3, 4]),
+                            BAT.from_values([2, 2]))
+        assert out.dtype is DataType.DBL
+        assert list(out.tail) == [1.5, 2.0]
+
+    def test_scalar_operand(self):
+        out = kernels.binop("*", BAT.from_values([1, 2]), 3)
+        assert list(out.tail) == [3, 6]
+
+    def test_rbinop(self):
+        out = kernels.rbinop("-", 10, BAT.from_values([1, 2]))
+        assert list(out.tail) == [9, 8]
+
+    def test_neg(self):
+        assert list(kernels.neg(BAT.from_values([1, -2])).tail) == [-1, 2]
+
+    def test_unknown_operator(self):
+        with pytest.raises(BatError):
+            kernels.binop("**", BAT.from_values([1]), 2)
+
+    def test_string_arithmetic_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            kernels.binop("+", BAT.from_values(["a"]), 1)
+
+    @given(st.lists(floats, min_size=1, max_size=50), floats)
+    @settings(max_examples=50, deadline=None)
+    def test_matches_numpy(self, values, scalar):
+        bat = BAT.from_values(values, DataType.DBL)
+        out = kernels.binop("+", bat, scalar)
+        assert np.allclose(out.tail, np.array(values) + scalar)
+
+
+class TestCompare:
+    def test_numeric_compare(self):
+        mask = kernels.compare("<", BAT.from_values([1, 5, 3]), 3)
+        assert list(mask) == [True, False, False]
+
+    def test_string_compare(self):
+        mask = kernels.compare("=", BAT.from_values(["a", "b"]), "b")
+        assert list(mask) == [False, True]
+
+    def test_cross_type_numeric(self):
+        mask = kernels.compare(">=", BAT.from_values([1, 2]),
+                               BAT.from_values([1.5, 1.5]))
+        assert list(mask) == [False, True]
+
+    def test_string_vs_int_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            kernels.compare("=", BAT.from_values(["a"]),
+                            BAT.from_values([1]))
+
+
+class TestSelection:
+    def test_thetaselect(self):
+        cands = kernels.thetaselect(BAT.from_values([5, 1, 7, 3]), ">", 2)
+        assert list(cands) == [0, 2, 3]
+
+    def test_thetaselect_with_candidates(self):
+        bat = BAT.from_values([5, 1, 7, 3])
+        first = kernels.thetaselect(bat, ">", 2)
+        second = kernels.thetaselect(bat, "<", 6, candidates=first)
+        assert list(second) == [0, 3]
+
+    def test_mask_to_candidates(self):
+        out = kernels.mask_to_candidates(np.array([True, False, True]))
+        assert list(out) == [0, 2]
+
+    def test_mask_over_candidates(self):
+        cands = np.array([1, 3], dtype=np.int64)
+        out = kernels.mask_to_candidates(np.array([False, True]), cands)
+        assert list(out) == [3]
+
+    def test_materialize_none_is_noop(self):
+        bat = BAT.from_values([1, 2])
+        assert kernels.materialize(bat, None) is bat
+
+
+class TestIfThenElse:
+    def test_numeric(self):
+        out = kernels.ifthenelse(np.array([True, False]),
+                                 BAT.from_values([1.0, 1.0]),
+                                 BAT.from_values([2.0, 2.0]))
+        assert list(out.tail) == [1.0, 2.0]
+
+    def test_string(self):
+        out = kernels.ifthenelse(np.array([True, False]),
+                                 BAT.from_values(["y", "y"]),
+                                 BAT.from_values(["n", "n"]))
+        assert out.python_values() == ["y", "n"]
+
+    def test_mixed_numeric_promotes(self):
+        out = kernels.ifthenelse(np.array([True, False]),
+                                 BAT.from_values([1, 1]),
+                                 BAT.from_values([0.5, 0.5]))
+        assert out.dtype is DataType.DBL
+
+    def test_incompatible_types_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            kernels.ifthenelse(np.array([True]),
+                               BAT.from_values(["a"]),
+                               BAT.from_values([1]))
+
+
+class TestMath:
+    def test_sqrt(self):
+        out = kernels.math_unary("sqrt", BAT.from_values([4.0, 9.0]))
+        assert list(out.tail) == [2.0, 3.0]
+
+    def test_abs_int_stays_int(self):
+        out = kernels.math_unary("abs", BAT.from_values([-1, 2]))
+        assert out.dtype is DataType.INT
+
+    def test_power(self):
+        out = kernels.power(BAT.from_values([2.0, 3.0]), 2)
+        assert list(out.tail) == [4.0, 9.0]
+
+    def test_unknown_function(self):
+        with pytest.raises(BatError):
+            kernels.math_unary("nope", BAT.from_values([1.0]))
+
+
+class TestScalarUdf:
+    def test_udf_slow_path(self):
+        out = kernels.scalar_udf(lambda a, b: a * 10 + b,
+                                 BAT.from_values([1.0, 2.0]),
+                                 BAT.from_values([3.0, 4.0]))
+        assert list(out.tail) == [13.0, 24.0]

@@ -1,0 +1,93 @@
+"""Tests for order computation (sorting, ranks, key checks)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bat.bat import BAT
+from repro.bat.sorting import check_key, order_by, rank_of, require_key
+from repro.errors import BatError, KeyViolationError
+
+
+class TestOrderBy:
+    def test_single_column(self):
+        bat = BAT.from_values([3, 1, 2])
+        assert list(order_by([bat])) == [1, 2, 0]
+
+    def test_strings(self):
+        bat = BAT.from_values(["8am", "5am", "7am"])
+        assert list(order_by([bat])) == [1, 2, 0]
+
+    def test_lexicographic_two_columns(self):
+        a = BAT.from_values([1, 1, 0])
+        b = BAT.from_values(["b", "a", "z"])
+        # Major key a: row 2 first; then rows 1, 0 by b.
+        assert list(order_by([a, b])) == [2, 1, 0]
+
+    def test_stability(self):
+        a = BAT.from_values([1, 1, 1])
+        assert list(order_by([a])) == [0, 1, 2]
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(BatError):
+            order_by([])
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(BatError):
+            order_by([BAT.from_values([1]), BAT.from_values([1, 2])])
+
+    def test_nil_strings_rejected(self):
+        with pytest.raises(BatError):
+            order_by([BAT.from_values(["a", None])])
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_sorted(self, values):
+        bat = BAT.from_values(values)
+        positions = order_by([bat])
+        assert [values[i] for i in positions] == sorted(values)
+
+
+class TestRankOf:
+    def test_inverse_permutation(self):
+        positions = np.array([2, 0, 1], dtype=np.int64)
+        ranks = rank_of(positions)
+        assert list(ranks) == [1, 2, 0]
+
+    @given(st.permutations(list(range(8))))
+    @settings(max_examples=30, deadline=None)
+    def test_rank_composition_is_identity(self, perm):
+        positions = np.array(perm, dtype=np.int64)
+        ranks = rank_of(positions)
+        assert list(positions[ranks]) == list(range(len(perm)))
+
+
+class TestCheckKey:
+    def test_unique_single(self):
+        assert check_key([BAT.from_values([3, 1, 2])])
+
+    def test_duplicate_single(self):
+        assert not check_key([BAT.from_values([1, 1])])
+
+    def test_combined_key(self):
+        a = BAT.from_values([1, 1, 2])
+        b = BAT.from_values(["x", "y", "x"])
+        assert check_key([a, b])
+        assert not check_key([a, BAT.from_values(["x", "x", "y"])])
+
+    def test_string_duplicates(self):
+        assert not check_key([BAT.from_values(["a", "b", "a"])])
+
+    def test_empty_relation_is_key(self):
+        assert check_key([BAT.from_values([], None)])
+
+    def test_require_key_raises(self):
+        with pytest.raises(KeyViolationError):
+            require_key([BAT.from_values([1, 1])], ["a"])
+
+    @given(st.lists(st.integers(0, 5), min_size=2, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_set_semantics(self, values):
+        bat = BAT.from_values(values)
+        assert check_key([bat]) == (len(set(values)) == len(values))

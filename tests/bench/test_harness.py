@@ -1,0 +1,85 @@
+"""Tests of the benchmark harness: structure, determinism, and the
+cheap-to-verify shape claims at tiny scale."""
+
+import pytest
+
+from repro.bench.harness import (
+    EXPERIMENTS,
+    fig13,
+    run_experiment,
+    table4,
+    table6,
+    table7,
+)
+from repro.bench.reporting import ExperimentResult
+from repro.errors import ReproError
+
+
+class TestReporting:
+    def test_render_contains_headers_and_rows(self):
+        result = ExperimentResult("t1", "demo", ["a", "b"])
+        result.add_row(a=1, b=0.5)
+        result.add_row(a=2, b=None)
+        result.note("a note")
+        text = result.render()
+        assert "t1: demo" in text
+        assert "a note" in text
+        assert "-" in text  # None renders as '-'
+
+    def test_number_formatting(self):
+        result = ExperimentResult("t", "t", ["x"])
+        result.add_row(x=1234.5)
+        result.add_row(x=0.00123)
+        text = result.render()
+        assert "1234" in text or "1235" in text
+        assert "0.0012" in text
+
+    def test_column_access(self):
+        result = ExperimentResult("t", "t", ["x"])
+        result.add_row(x=1)
+        result.add_row(x=2)
+        assert result.column("x") == [1, 2]
+
+
+class TestHarness:
+    def test_registry_covers_every_table_and_figure(self):
+        expected = {"fig13a", "fig13b", "table4", "table5", "table6",
+                    "table7", "fig14", "fig15", "fig16", "fig17",
+                    "fig18"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ReproError):
+            run_experiment("fig99")
+
+    def test_table4_structure(self):
+        result = table4(scale=0.1)
+        assert result.headers == ["#attrs", "seconds"]
+        assert len(result.rows) == 6
+        assert all(s > 0 for s in result.column("seconds"))
+
+    def test_table4_grows_with_width(self):
+        result = table4(scale=0.2)
+        seconds = result.column("seconds")
+        assert seconds[-1] > seconds[0]
+
+    def test_table6_r_fails_rma_survives(self):
+        result = table6(scale=0.05)
+        r_column = result.column("R")
+        rma_column = result.column("RMA+")
+        assert any(v is None for v in r_column)  # R runs out of memory
+        assert all(v is not None for v in rma_column)
+        backends = result.column("RMA+ backend")
+        assert "bat" in backends and "mkl" in backends
+
+    def test_table7_scidb_slower(self):
+        result = table7(scale=0.03)
+        ratios = result.column("SciDB/RMA+")
+        assert ratios[-1] > 1.0
+
+    def test_fig13_qqr_optimized_flat(self):
+        result = fig13(scale=0.05, wide=True)
+        optimized = result.column("qqr w/o sorting")
+        full = result.column("qqr")
+        # optimized beats full sorting at every sweep point
+        assert all(o < f for o, f in zip(optimized, full))

@@ -1,0 +1,48 @@
+"""Shared fixtures: the paper's running examples."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.relational import Relation
+
+
+@pytest.fixture
+def weather():
+    """Relation r of Fig. 2: (T, H, W) with T a key."""
+    return Relation.from_rows(
+        ["T", "H", "W"],
+        [("5am", 1.0, 3.0), ("8am", 8.0, 5.0),
+         ("7am", 6.0, 7.0), ("6am", 1.0, 4.0)])
+
+
+@pytest.fixture
+def users():
+    """Relation u of Fig. 5 (users)."""
+    return Relation.from_rows(
+        ["User", "State", "YoB"],
+        [("Ann", "CA", 1980), ("Tom", "FL", 1965), ("Jan", "CA", 1970)])
+
+
+@pytest.fixture
+def films():
+    """Relation f of Fig. 5 (films)."""
+    return Relation.from_rows(
+        ["Title", "RelY", "Director"],
+        [("Heat", 1995, "Lee"), ("Balto", 1995, "Lee"),
+         ("Net", 1995, "Smith")])
+
+
+@pytest.fixture
+def ratings():
+    """Relation r of Fig. 5 (ratings)."""
+    return Relation.from_rows(
+        ["User", "Balto", "Heat", "Net"],
+        [("Ann", 2.0, 1.5, 0.5), ("Tom", 0.0, 0.0, 1.5),
+         ("Jan", 1.0, 4.0, 1.0)])
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)

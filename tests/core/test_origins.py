@@ -1,0 +1,116 @@
+"""Origins (paper §6.2, Table 3, Theorem 6.8) for every operation."""
+
+import numpy as np
+import pytest
+
+from repro.core import column_origin, row_origin, verify_origins
+from repro.core.ops import execute_rma
+from repro.relational import Relation, rename
+
+
+@pytest.fixture
+def square(weather):
+    """Weather restricted to a square application part (needs 2 rows)."""
+    import repro.relational.ops as rel_ops
+    mask = np.array([t > "6am" for t in
+                     weather.column("T").python_values()])
+    return rel_ops.select_mask(weather, mask)
+
+
+@pytest.fixture
+def weather2():
+    return Relation.from_rows(
+        ["D", "H", "W"],
+        [("d1", 1.0, 1.0), ("d2", 2.0, 2.0),
+         ("d3", 3.0, 3.0), ("d4", 4.0, 4.0)])
+
+
+UNARY_OPS = ["tra", "qqr", "rqr", "dsv", "vsv", "usv", "rnk"]
+SQUARE_OPS = ["inv", "evl", "det"]
+BINARY_OPS = ["add", "sub", "emu", "cpd"]
+
+
+class TestExpectedOrigins:
+    def test_row_origin_r1(self, weather):
+        assert row_origin("qqr", weather, "T") == [
+            ("5am",), ("8am",), ("7am",), ("6am",)]
+
+    def test_row_origin_c1(self, weather):
+        assert row_origin("tra", weather, "T") == [("H",), ("W",)]
+
+    def test_row_origin_scalar(self, weather):
+        assert row_origin("det", weather, "T") == "r"
+
+    def test_column_origin_cast(self, weather):
+        assert column_origin("tra", weather, "T") == [
+            "5am", "6am", "7am", "8am"]
+
+    def test_column_origin_app_schema(self, weather):
+        assert column_origin("inv", weather, "T") == ["H", "W"]
+
+    def test_column_origin_op_name(self, weather):
+        assert column_origin("evl", weather, "T") == ["evl"]
+
+    def test_example_6_7_usv(self, weather):
+        """Example 6.7: usv_T(r) has ro = r.T and co = sorted T values."""
+        assert row_origin("usv", weather, "T") == [
+            ("5am",), ("8am",), ("7am",), ("6am",)]
+        assert column_origin("usv", weather, "T") == [
+            "5am", "6am", "7am", "8am"]
+
+    def test_example_6_7_qqr_two_attrs(self, weather):
+        assert column_origin("qqr", weather, ["W", "T"]) == ["H"]
+        origins = row_origin("qqr", weather, ["W", "T"])
+        assert (3.0, "5am") in origins
+
+
+class TestVerifiedOrigins:
+    @pytest.mark.parametrize("op", UNARY_OPS)
+    def test_unary(self, op, weather):
+        result = execute_rma(op, weather, "T")
+        assert verify_origins(op, result, weather, "T")
+
+    @pytest.mark.parametrize("op", SQUARE_OPS)
+    def test_square(self, op, square):
+        result = execute_rma(op, square, "T")
+        assert verify_origins(op, result, square, "T")
+
+    @pytest.mark.parametrize("op", BINARY_OPS)
+    def test_binary(self, op, weather, weather2):
+        result = execute_rma(op, weather, "T", weather2, "D")
+        assert verify_origins(op, result, weather, "T", weather2, "D")
+
+    def test_mmu_origins(self, weather):
+        from repro.core import tra
+        transposed = tra(weather, by="T")
+        result = execute_rma("mmu", transposed, "C", weather, "T")
+        assert verify_origins("mmu", result, transposed, "C", weather, "T")
+
+    def test_opd_origins(self, weather, weather2):
+        result = execute_rma("opd", weather, "T", weather2, "D")
+        assert verify_origins("opd", result, weather, "T", weather2, "D")
+
+    def test_verify_detects_wrong_columns(self, weather):
+        result = execute_rma("inv", weather.sorted_by(["T"]).replace_columns(
+        ), "T") if False else execute_rma("qqr", weather, "T")
+        broken = rename(result, {"H": "X"})
+        assert not verify_origins("qqr", broken, weather, "T")
+
+    def test_verify_detects_wrong_rows(self, weather):
+        result = execute_rma("qqr", weather, "T")
+        import repro.relational.ops as rel_ops
+        broken = rel_ops.limit(result, 2)
+        assert not verify_origins("qqr", broken, weather, "T")
+
+
+class TestOriginSemantics:
+    def test_origin_connects_argument_and_result(self, square):
+        """Example 6.5: result value -0.19 shares origins (7am, H) with
+        argument value 6."""
+        result = execute_rma("inv", square, "T")
+        rows = {r[0]: dict(zip(result.names[1:], r[1:]))
+                for r in result.to_rows()}
+        source_rows = {r[0]: dict(zip(square.names[1:], r[1:]))
+                       for r in square.to_rows()}
+        assert rows["7am"]["H"] == pytest.approx(-5 / 26)
+        assert source_rows["7am"]["H"] == 6.0

@@ -1,0 +1,200 @@
+"""The paper's worked examples, asserted exactly.
+
+Each test reproduces a figure or example from the paper; failing here means
+the reproduction diverges from the published semantics.
+"""
+
+import numpy as np
+import pytest
+
+import repro.relational.ops as rel_ops
+from repro.core import (
+    add,
+    det,
+    inv,
+    mmu,
+    qqr,
+    rnk,
+    sub,
+    tra,
+    usv,
+)
+from repro.relational import (
+    AggregateSpec,
+    Relation,
+    cross,
+    group_by,
+    join,
+    project,
+    rename,
+    select_mask,
+)
+
+
+def _select(relation, predicate, attr):
+    mask = np.array([predicate(v)
+                     for v in relation.column(attr).python_values()])
+    return rel_ops.select_mask(relation, mask)
+
+
+class TestFig3Inversion:
+    """v = inv_T(σ_{T>6am}(r)) — the running example of §4."""
+
+    def test_result_values(self, weather):
+        filtered = _select(weather, lambda t: t > "6am", "T")
+        v = inv(filtered, by="T")
+        assert v.names == ["T", "H", "W"]
+        rows = {r[0]: (r[1], r[2]) for r in v.to_rows()}
+        assert rows["7am"][0] == pytest.approx(-5 / 26)   # -0.19
+        assert rows["7am"][1] == pytest.approx(7 / 26)    # 0.27
+        assert rows["8am"][0] == pytest.approx(8 / 26)    # 0.31
+        assert rows["8am"][1] == pytest.approx(-6 / 26)   # -0.23
+
+    def test_rows_sorted_by_order_schema(self, weather):
+        filtered = _select(weather, lambda t: t > "6am", "T")
+        v = inv(filtered, by="T")
+        assert v.column("T").python_values() == ["7am", "8am"]
+
+
+class TestFig4Examples:
+    def test_qqr_schema_preserved(self, weather):
+        """Fig. 4a: qqr_T(r) keeps schema (T, H, W)."""
+        out = qqr(weather, by="T")
+        assert out.names == ["T", "H", "W"]
+        assert out.nrows == 4
+        # Q has orthonormal columns over the sorted matrix.
+        ordered = out.sorted_by(["T"])
+        q = np.column_stack([ordered.column("H").tail,
+                             ordered.column("W").tail])
+        assert np.allclose(q.T @ q, np.eye(2), atol=1e-8)
+
+    def test_tra_exact(self, weather):
+        """Fig. 4b: transpose with C attribute and time-named columns."""
+        out = tra(weather, by="T")
+        assert out.names == ["C", "5am", "6am", "7am", "8am"]
+        rows = {r[0]: r[1:] for r in out.to_rows()}
+        assert rows["H"] == (1.0, 1.0, 6.0, 8.0)
+        assert rows["W"] == (3.0, 4.0, 7.0, 5.0)
+
+
+class TestSection5Covariance:
+    """The full mixed workload of Fig. 6, w1 ... w8."""
+
+    def test_full_pipeline(self, users, films, ratings):
+        # w1 = π(σ_{S='CA'}(u ⋈ r))
+        joined = join(users,
+                      rename(ratings, {"User": "User2"}),
+                      ["User"], ["User2"], drop_right_keys=True)
+        ca = _select(joined, lambda s: s == "CA", "State")
+        w1 = project(ca, ["User", "Balto", "Heat", "Net"])
+        assert w1.nrows == 2
+
+        # w2 = aggregate averages
+        w2 = group_by(w1, [], [AggregateSpec("avg", "Balto", "Balto"),
+                               AggregateSpec("avg", "Heat", "Heat"),
+                               AggregateSpec("avg", "Net", "Net")])
+        assert w2.to_rows() == [(1.5, 2.75, 0.75)]
+
+        # w3 = π(sub(w1, ρ_V(π_U(w1)) x w2))
+        means = cross(rename(project(w1, ["User"]), {"User": "V"}), w2)
+        w3 = project(sub(w1, "User", means, "V"),
+                     ["User", "Balto", "Heat", "Net"])
+        rows = {r[0]: r[1:] for r in w3.to_rows()}
+        assert rows["Ann"] == (0.5, -1.25, -0.25)
+        assert rows["Jan"] == (-0.5, 1.25, 0.25)
+        # (paper's Fig. 7 shows w3 with its own attribute order; values per
+        # film: Ann Balto 2.0-1.5=0.5, Heat 1.5-2.75=-1.25, Net 0.5-0.75=-0.25)
+
+        # w4 = tra_U(w3)
+        w4 = tra(w3, by="User")
+        assert w4.names == ["C", "Ann", "Jan"]
+        w4_rows = {r[0]: r[1:] for r in w4.to_rows()}
+        assert w4_rows["Balto"] == (0.5, -0.5)
+        assert w4_rows["Heat"] == (-1.25, 1.25)
+        assert w4_rows["Net"] == (-0.25, 0.25)
+
+        # w5 = mmu_{C;U}(w4, w3); w6/w7 scale by 1/(M-1), M = 2
+        w5 = mmu(w4, "C", w3, "User")
+        assert w5.names == ["C", "Balto", "Heat", "Net"]
+        w7_rows = {r[0]: tuple(v / (w1.nrows - 1) for v in r[1:])
+                   for r in w5.to_rows()}
+        # Covariance matrix of CA ratings:
+        assert w7_rows["Balto"] == pytest.approx((0.5, -1.25, -0.25))
+        assert w7_rows["Heat"] == pytest.approx((-1.25, 3.125, 0.625))
+        assert w7_rows["Net"] == pytest.approx((-0.25, 0.625, 0.125))
+
+        # w8 = join with films, select Lee's films
+        w7 = Relation.from_columns({
+            "C": [r[0] for r in w5.to_rows()],
+            "Balto": [w7_rows[r[0]][0] for r in w5.to_rows()],
+            "Heat": [w7_rows[r[0]][1] for r in w5.to_rows()],
+            "Net": [w7_rows[r[0]][2] for r in w5.to_rows()]})
+        w8 = join(w7, films, ["C"], ["Title"])
+        lee = _select(w8, lambda d: d == "Lee", "Director")
+        assert sorted(lee.column("Title").python_values()) == \
+            ["Balto", "Heat"]
+
+
+class TestFig9Origins:
+    def test_rnk_shape_1_1(self, weather):
+        """p1 = rnk_H(π_{H,W}(r)): one row ('r', 1) exactly as in Fig. 9
+        (the application part is the single column W, so the rank is 1)."""
+        p1 = rnk(project(weather, ["H", "W"]), by="H")
+        assert p1.names == ["C", "rnk"]
+        assert p1.to_rows() == [("r", 1.0)]
+
+    def test_usv_shape_r1_r1(self, weather):
+        """p2 = usv_T(r): columns named by sorted order values."""
+        p2 = usv(weather, by="T")
+        assert p2.names == ["T", "5am", "6am", "7am", "8am"]
+        assert p2.nrows == 4
+        # U is orthonormal.
+        ordered = p2.sorted_by(["T"])
+        u = np.column_stack([ordered.column(c).tail
+                             for c in ["5am", "6am", "7am", "8am"]])
+        assert np.allclose(u.T @ u, np.eye(4), atol=1e-8)
+
+    def test_qqr_multi_attribute_order_schema(self, weather):
+        """p3 = qqr_{W,T}(r): two order attributes, one application attr."""
+        p3 = qqr(weather, by=["W", "T"])
+        assert p3.names == ["W", "T", "H"]
+        assert p3.nrows == 4
+
+
+class TestFig10TransposeChain:
+    def test_tra_tra_restores_relation(self, weather):
+        r1 = tra(weather, by="T")
+        assert r1.names == ["C", "5am", "6am", "7am", "8am"]
+        r2 = tra(r1, by="C")
+        assert r2.names == ["C", "H", "W"]
+        # r2 holds the original data, keyed by the former order values.
+        rows = {r[0]: r[1:] for r in r2.to_rows()}
+        assert rows["5am"] == (1.0, 3.0)
+        assert rows["6am"] == (1.0, 4.0)
+        assert rows["7am"] == (6.0, 7.0)
+        assert rows["8am"] == (8.0, 5.0)
+
+
+class TestExampleAdd:
+    def test_add_keeps_both_order_parts(self, weather):
+        other = Relation.from_rows(
+            ["D", "H", "W"],
+            [("d1", 10.0, 100.0), ("d2", 20.0, 200.0),
+             ("d3", 30.0, 300.0), ("d4", 40.0, 400.0)])
+        out = add(weather, "T", other, "D")
+        assert out.names == ["T", "D", "H", "W"]
+        rows = {r[0]: r[1:] for r in out.to_rows()}
+        # sorted T: 5am,6am,7am,8am pairs with sorted D: d1..d4
+        assert rows["5am"] == ("d1", 11.0, 103.0)
+        assert rows["6am"] == ("d2", 21.0, 204.0)
+        assert rows["7am"] == ("d3", 36.0, 307.0)
+        assert rows["8am"] == ("d4", 48.0, 405.0)
+
+
+class TestDetExample:
+    def test_det_result_relation(self, weather):
+        filtered = _select(weather, lambda t: t > "6am", "T")
+        out = det(filtered, by="T")
+        assert out.names == ["C", "det"]
+        assert out.column("C").python_values() == ["r"]
+        assert out.column("det").python_values()[0] == pytest.approx(-26.0)

@@ -1,0 +1,191 @@
+"""Tests for the synthetic dataset generators."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.bat.bat import DataType
+from repro.data.bixi import (
+    DURATION_INTERCEPT,
+    DURATION_PER_KM,
+    generate_numeric_trips,
+    generate_stations,
+    generate_trips,
+    station_distance_km,
+)
+from repro.data.dblp import (
+    generate_publications,
+    generate_publications_long,
+    generate_ranking,
+    pivot_publications,
+)
+from repro.data.synthetic import (
+    order_heavy_relation,
+    order_names,
+    sparse_pair,
+    uniform_pair,
+    uniform_relation,
+)
+
+
+class TestBixi:
+    def test_stations_schema(self):
+        stations = generate_stations(20)
+        assert stations.names == ["code", "name", "latitude", "longitude"]
+        assert stations.nrows == 20
+        assert stations.is_key(["code"])
+
+    def test_stations_deterministic(self):
+        a = generate_stations(10, seed=3)
+        b = generate_stations(10, seed=3)
+        assert a.same_rows(b)
+
+    def test_trips_schema_types(self):
+        stations = generate_stations(10)
+        trips = generate_trips(500, stations)
+        schema = trips.schema
+        assert schema.dtype("start_date") is DataType.DATE
+        assert schema.dtype("start_time") is DataType.TIME
+        assert schema.dtype("is_member") is DataType.BOOL
+        assert trips.is_key(["trip_id"])
+
+    def test_trip_stations_exist(self):
+        stations = generate_stations(10)
+        trips = generate_trips(300, stations)
+        codes = set(stations.column("code").python_values())
+        assert set(trips.column("start_station").python_values()) <= codes
+        assert set(trips.column("end_station").python_values()) <= codes
+
+    def test_no_self_loops(self):
+        stations = generate_stations(5)
+        trips = generate_trips(200, stations)
+        start = trips.column("start_station").tail
+        end = trips.column("end_station").tail
+        assert (start != end).all()
+
+    def test_trips_within_years(self):
+        stations = generate_stations(10)
+        trips = generate_trips(300, stations, years=(2015, 2016))
+        years = {d.year for d in trips.column("start_date").python_values()}
+        assert years <= {2015, 2016}
+
+    def test_duration_correlates_with_distance(self):
+        """The regression signal the OLS workload recovers must exist."""
+        stations = generate_stations(30)
+        trips = generate_trips(5_000, stations)
+        codes = stations.column("code").tail
+        lat = dict(zip(codes, stations.column("latitude").tail))
+        lon = dict(zip(codes, stations.column("longitude").tail))
+        start = trips.column("start_station").tail
+        end = trips.column("end_station").tail
+        distance = station_distance_km(
+            np.array([lat[c] for c in start]),
+            np.array([lon[c] for c in start]),
+            np.array([lat[c] for c in end]),
+            np.array([lon[c] for c in end]))
+        duration = trips.column("duration").tail.astype(float)
+        slope, intercept = np.polyfit(distance, duration, 1)
+        assert slope == pytest.approx(DURATION_PER_KM, rel=0.1)
+        assert intercept == pytest.approx(DURATION_INTERCEPT, rel=0.2)
+
+    def test_pair_skew(self):
+        """Station pairs are skewed so the >=50 filter separates pairs."""
+        stations = generate_stations(40)
+        trips = generate_trips(20_000, stations)
+        pairs = list(zip(trips.column("start_station").python_values(),
+                         trips.column("end_station").python_values()))
+        counts = {}
+        for p in pairs:
+            counts[p] = counts.get(p, 0) + 1
+        values = sorted(counts.values(), reverse=True)
+        assert values[0] > 20 * values[-1]
+
+    def test_numeric_trips_projection(self):
+        stations = generate_stations(10)
+        numeric = generate_numeric_trips(100, stations)
+        assert numeric.names == ["trip_id", "start_station",
+                                 "end_station", "duration"]
+        assert all(numeric.schema.dtype(n).is_numeric
+                   for n in numeric.names)
+
+    def test_distance_nonnegative(self):
+        d = station_distance_km(45.5, -73.6, 45.6, -73.5)
+        assert d > 0
+        assert station_distance_km(45.5, -73.6, 45.5, -73.6) == 0.0
+
+
+class TestDblp:
+    def test_ranking_schema(self):
+        ranking = generate_ranking(50)
+        assert ranking.names == ["conference", "rating"]
+        assert ranking.nrows == 50
+        ratings = set(ranking.column("rating").python_values())
+        assert ratings <= {"A++", "A+", "A", "B", "C"}
+        assert "A++" in ratings  # the workload's filter must select rows
+
+    def test_publications_wide(self):
+        pubs = generate_publications(100, 8)
+        assert pubs.names[0] == "author"
+        assert len(pubs.names) == 9
+        assert pubs.is_key(["author"])
+
+    def test_publications_sparse_and_nonnegative(self):
+        pubs = generate_publications(500, 20)
+        total_cells = 500 * 20
+        nonzero = sum(
+            int(np.count_nonzero(pubs.column(n).tail))
+            for n in pubs.names if n != "author")
+        assert nonzero < total_cells * 0.5  # sparse
+        assert all((pubs.column(n).tail >= 0).all()
+                   for n in pubs.names if n != "author")
+
+    def test_long_form_pivots_to_wide_shape(self):
+        long_form = generate_publications_long(50, 6)
+        wide = pivot_publications(long_form)
+        assert wide.names[0] == "author"
+        # every conference that appears becomes an attribute
+        conferences = set(long_form.column("conference").python_values())
+        assert conferences == set(wide.names[1:])
+
+    def test_deterministic(self):
+        a = generate_publications(50, 5, seed=12)
+        b = generate_publications(50, 5, seed=12)
+        assert a.same_rows(b)
+
+
+class TestSynthetic:
+    def test_uniform_relation(self):
+        rel = uniform_relation(100, 5)
+        assert rel.nrows == 100
+        assert len(rel.names) == 6
+        values = rel.column("x0").tail
+        assert values.min() >= 0.0 and values.max() <= 10_000.0
+
+    def test_uniform_pair_distinct_keys(self):
+        r, s = uniform_pair(10, 2)
+        assert r.names[0] == "id1" and s.names[0] == "id2"
+
+    def test_sparse_pair_zero_share(self):
+        r, _ = sparse_pair(10_000, 3, 0.5, seed=1)
+        zero_fraction = 1 - (np.count_nonzero(r.column("x0").tail)
+                             / 10_000)
+        assert 0.45 < zero_fraction < 0.55
+
+    def test_sparse_pair_extremes(self):
+        dense, _ = sparse_pair(1_000, 2, 0.0)
+        empty, _ = sparse_pair(1_000, 2, 1.0)
+        assert np.count_nonzero(dense.column("x0").tail) == 1_000
+        assert np.count_nonzero(empty.column("x0").tail) == 0
+
+    def test_order_heavy_relation(self):
+        rel = order_heavy_relation(200, 5)
+        names = order_names(rel)
+        assert names == ["k0", "k1", "k2", "k3", "k4"]
+        assert rel.names[-1] == "value"
+        assert rel.is_key(["k0"])  # first order column is unique
+        assert rel.is_key(names)
+
+    def test_order_heavy_single_column(self):
+        rel = order_heavy_relation(50, 1)
+        assert order_names(rel) == ["k0"]

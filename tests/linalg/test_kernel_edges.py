@@ -1,0 +1,115 @@
+"""Edge cases of the matrix kernels: 1x1, identity, near-singular."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, SingularMatrixError
+from repro.linalg import BatBackend, MklBackend
+from repro.linalg.matrix import as_columns, columns_to_dense
+
+BAT = BatBackend()
+MKL = MklBackend()
+BACKENDS = [pytest.param(BAT, id="bat"), pytest.param(MKL, id="mkl")]
+
+
+def dense(op, backend, a, b=None):
+    return columns_to_dense(backend.compute(
+        op, as_columns(a), as_columns(b) if b is not None else None))
+
+
+class TestOneByOne:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_inv(self, backend):
+        assert dense("inv", backend, [[4.0]])[0, 0] == pytest.approx(0.25)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_det(self, backend):
+        assert dense("det", backend, [[-3.0]])[0, 0] == pytest.approx(-3.0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_qqr(self, backend):
+        q = dense("qqr", backend, [[5.0]])
+        assert q[0, 0] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_svd(self, backend):
+        d = dense("dsv", backend, [[-2.0]])
+        assert d[0, 0] == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_evl(self, backend):
+        assert dense("evl", backend, [[7.0]])[0, 0] == pytest.approx(7.0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_chf(self, backend):
+        assert dense("chf", backend, [[9.0]])[0, 0] == pytest.approx(3.0)
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_identity_fixed_points(self, backend):
+        eye = np.eye(4)
+        assert np.allclose(dense("inv", backend, eye), eye)
+        assert dense("det", backend, eye)[0, 0] == pytest.approx(1.0)
+        assert dense("rnk", backend, eye)[0, 0] == 4.0
+        assert np.allclose(np.abs(dense("qqr", backend, eye)), eye)
+        assert np.allclose(dense("chf", backend, eye), eye)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_identity_eigenvalues_all_one(self, backend):
+        values = dense("evl", backend, np.eye(3)).ravel()
+        assert np.allclose(values, 1.0)
+
+
+class TestNearSingular:
+    def test_bat_inverse_of_illconditioned_still_accurate(self):
+        a = np.array([[1.0, 1.0], [1.0, 1.0 + 1e-8]])
+        inv = dense("inv", BAT, a)
+        assert np.allclose(inv @ a, np.eye(2), atol=1e-4)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_exactly_singular_raises(self, backend):
+        a = np.array([[1.0, 2.0], [2.0, 4.0]])
+        with pytest.raises(SingularMatrixError):
+            dense("inv", backend, a)
+
+    def test_det_of_singular_is_zero(self):
+        a = np.array([[1.0, 2.0], [2.0, 4.0]])
+        assert dense("det", BAT, a)[0, 0] == 0.0
+
+
+class TestSingleColumn:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_qqr_normalizes(self, backend):
+        a = np.array([[3.0], [4.0]])
+        q = dense("qqr", backend, a)
+        assert np.allclose(q.ravel(), [0.6, 0.8])
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_rqr_is_norm(self, backend):
+        a = np.array([[3.0], [4.0]])
+        assert dense("rqr", backend, a)[0, 0] == pytest.approx(5.0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_sol_single_rhs(self, backend):
+        a = np.array([[1.0], [2.0], [3.0]])
+        b = np.array([[2.0], [4.0], [6.0]])
+        assert dense("sol", backend, a, b)[0, 0] == pytest.approx(2.0)
+
+
+class TestEmptyAndInvalid:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_matrix_rejected(self, backend):
+        with pytest.raises(ShapeError):
+            backend.compute("inv", [])
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_unary_rejects_second_argument(self, backend):
+        with pytest.raises(ShapeError):
+            backend.compute("tra", as_columns(np.eye(2)),
+                            as_columns(np.eye(2)))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_binary_requires_second_argument(self, backend):
+        with pytest.raises(ShapeError):
+            backend.compute("add", as_columns(np.eye(2)))

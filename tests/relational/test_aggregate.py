@@ -1,0 +1,110 @@
+"""Tests for grouped aggregation, including brute-force equivalence."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError, RelationError
+from repro.relational import AggregateSpec, Relation, group_by
+
+
+class TestSpecValidation:
+    def test_unknown_function(self):
+        with pytest.raises(PlanError):
+            AggregateSpec("median", "x", "m")
+
+    def test_star_only_for_count(self):
+        with pytest.raises(PlanError):
+            AggregateSpec("sum", "*", "s")
+
+
+class TestGlobalAggregates:
+    def test_count_star(self, users):
+        out = group_by(users, [], [AggregateSpec("count", "*", "n")])
+        assert out.to_rows() == [(3,)]
+
+    def test_sum_avg(self, users):
+        out = group_by(users, [], [AggregateSpec("sum", "YoB", "s"),
+                                   AggregateSpec("avg", "YoB", "a")])
+        assert out.to_rows() == [(1980 + 1965 + 1970,
+                                  (1980 + 1965 + 1970) / 3)]
+
+    def test_empty_input(self):
+        rel = Relation.from_columns({"x": []})
+        out = group_by(rel, [], [AggregateSpec("count", "*", "n"),
+                                 AggregateSpec("sum", "x", "s")])
+        assert out.to_rows() == [(0, None)]
+
+    def test_min_max_int_stays_int(self, users):
+        out = group_by(users, [], [AggregateSpec("min", "YoB", "lo"),
+                                   AggregateSpec("max", "YoB", "hi")])
+        assert out.to_rows() == [(1965, 1980)]
+
+
+class TestGroupedAggregates:
+    def test_group_by_state(self, users):
+        out = group_by(users, ["State"],
+                       [AggregateSpec("count", "*", "n"),
+                        AggregateSpec("avg", "YoB", "avg_yob")])
+        rows = {r[0]: (r[1], r[2]) for r in out.to_rows()}
+        assert rows == {"CA": (2, 1975.0), "FL": (1, 1965.0)}
+
+    def test_min_max_strings(self, users):
+        out = group_by(users, ["State"],
+                       [AggregateSpec("min", "User", "first"),
+                        AggregateSpec("max", "User", "last")])
+        rows = {r[0]: (r[1], r[2]) for r in out.to_rows()}
+        assert rows == {"CA": ("Ann", "Jan"), "FL": ("Tom", "Tom")}
+
+    def test_count_skips_nulls(self):
+        rel = Relation.from_columns({"g": ["a", "a", "b"],
+                                     "x": [1.0, None, 2.0]})
+        out = group_by(rel, ["g"], [AggregateSpec("count", "x", "n")])
+        rows = dict(out.to_rows())
+        assert rows == {"a": 1, "b": 1}
+
+    def test_var_std(self):
+        rel = Relation.from_columns({"g": ["a"] * 4,
+                                     "x": [1.0, 2.0, 3.0, 4.0]})
+        out = group_by(rel, ["g"], [AggregateSpec("var", "x", "v"),
+                                    AggregateSpec("std", "x", "s")])
+        row = out.to_rows()[0]
+        expected_var = 5.0 / 3.0
+        assert row[1] == pytest.approx(expected_var)
+        assert row[2] == pytest.approx(math.sqrt(expected_var))
+
+    def test_sum_non_numeric_rejected(self, users):
+        with pytest.raises(RelationError):
+            group_by(users, [], [AggregateSpec("sum", "State", "s")])
+
+    def test_multi_key_grouping(self):
+        rel = Relation.from_columns({
+            "a": [1, 1, 2, 1], "b": ["x", "x", "x", "y"],
+            "v": [1.0, 2.0, 4.0, 8.0]})
+        out = group_by(rel, ["a", "b"], [AggregateSpec("sum", "v", "s")])
+        rows = {(r[0], r[1]): r[2] for r in out.to_rows()}
+        assert rows == {(1, "x"): 3.0, (2, "x"): 4.0, (1, "y"): 8.0}
+
+
+@given(st.lists(st.tuples(st.integers(0, 4),
+                          st.floats(min_value=-100, max_value=100,
+                                    allow_nan=False)),
+                min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_grouped_sum_matches_brute_force(pairs):
+    rel = Relation.from_columns({"g": [p[0] for p in pairs],
+                                 "x": [p[1] for p in pairs]})
+    out = group_by(rel, ["g"], [AggregateSpec("sum", "x", "s"),
+                                AggregateSpec("count", "*", "n")])
+    expected_sum: dict[int, float] = {}
+    expected_count: dict[int, int] = {}
+    for g, x in pairs:
+        expected_sum[g] = expected_sum.get(g, 0.0) + x
+        expected_count[g] = expected_count.get(g, 0) + 1
+    rows = {r[0]: (r[1], r[2]) for r in out.to_rows()}
+    assert set(rows) == set(expected_sum)
+    for g in expected_sum:
+        assert rows[g][0] == pytest.approx(expected_sum[g], abs=1e-6)
+        assert rows[g][1] == expected_count[g]

@@ -1,0 +1,99 @@
+"""Tests for CSV input/output."""
+
+import datetime as dt
+import io
+
+import pytest
+
+from repro.bat.bat import DataType
+from repro.errors import CsvError
+from repro.relational import Relation, read_csv, write_csv
+from repro.relational.csv_io import from_csv_text, infer_cell
+
+
+class TestInferCell:
+    def test_int(self):
+        assert infer_cell("42") == 42
+
+    def test_float(self):
+        assert infer_cell("4.5") == 4.5
+
+    def test_date(self):
+        assert infer_cell("2014-04-15") == dt.date(2014, 4, 15)
+
+    def test_time(self):
+        assert infer_cell("08:30:15") == dt.time(8, 30, 15)
+
+    def test_time_without_seconds(self):
+        assert infer_cell("08:30") == dt.time(8, 30)
+
+    def test_bool(self):
+        assert infer_cell("true") is True
+        assert infer_cell("False") is False
+
+    def test_null(self):
+        assert infer_cell("") is None
+        assert infer_cell("NULL") is None
+
+    def test_string(self):
+        assert infer_cell("hello world") == "hello world"
+
+
+class TestReadCsv:
+    def test_basic(self):
+        rel = from_csv_text("a,b\n1,x\n2,y\n")
+        assert rel.names == ["a", "b"]
+        assert rel.to_rows() == [(1, "x"), (2, "y")]
+        assert rel.schema.dtype("a") is DataType.INT
+
+    def test_mixed_int_float_promotes(self):
+        rel = from_csv_text("a\n1\n2.5\n")
+        assert rel.schema.dtype("a") is DataType.DBL
+
+    def test_dates_and_times(self):
+        rel = from_csv_text("d,t\n2014-04-15,08:30:00\n")
+        assert rel.schema.dtype("d") is DataType.DATE
+        assert rel.schema.dtype("t") is DataType.TIME
+        assert rel.row(0) == (dt.date(2014, 4, 15), dt.time(8, 30))
+
+    def test_explicit_types(self):
+        rel = from_csv_text("a\n1\n", types={"a": DataType.STR})
+        assert rel.schema.dtype("a") is DataType.STR
+        assert rel.row(0) == ("1",)
+
+    def test_nulls(self):
+        rel = from_csv_text("a,b\n1,\n,x\n")
+        assert rel.to_rows() == [(1, None), (None, "x")]
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(CsvError):
+            from_csv_text("a,b\n1\n")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(CsvError):
+            from_csv_text("")
+
+
+class TestRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        rel = Relation.from_rows(
+            ["name", "score", "day"],
+            [("ann", 1.5, dt.date(2020, 1, 1)),
+             ("bob", 2.0, dt.date(2020, 1, 2))])
+        path = tmp_path / "out.csv"
+        write_csv(rel, path)
+        back = read_csv(path)
+        assert back.same_rows(rel)
+
+    def test_roundtrip_stringio(self, users):
+        buffer = io.StringIO()
+        write_csv(users, buffer)
+        buffer.seek(0)
+        back = read_csv(buffer)
+        assert back.same_rows(users)
+
+    def test_null_roundtrip(self, tmp_path):
+        rel = Relation.from_columns({"x": [1, None], "s": ["a", None]})
+        path = tmp_path / "nulls.csv"
+        write_csv(rel, path)
+        assert read_csv(path).to_rows() == [(1, "a"), (None, None)]

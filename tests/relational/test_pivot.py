@@ -1,0 +1,90 @@
+"""Tests for PIVOT/UNPIVOT (the DBLP publication-count shape)."""
+
+import pytest
+
+from repro.errors import RelationError
+from repro.relational import Relation, pivot
+from repro.relational.pivot import unpivot
+
+
+@pytest.fixture
+def publications_long():
+    """author x conference publication counts in long form."""
+    return Relation.from_rows(
+        ["author", "conf", "cnt"],
+        [("ann", "SIGMOD", 2), ("ann", "VLDB", 1),
+         ("bob", "SIGMOD", 3), ("cat", "ICDE", 4),
+         ("cat", "SIGMOD", 1)])
+
+
+class TestPivot:
+    def test_shape(self, publications_long):
+        out = pivot(publications_long, ["author"], "conf", "cnt")
+        assert out.names == ["author", "ICDE", "SIGMOD", "VLDB"]
+        assert out.nrows == 3
+
+    def test_values_and_default(self, publications_long):
+        out = pivot(publications_long, ["author"], "conf", "cnt")
+        rows = {r[0]: r[1:] for r in out.to_rows()}
+        assert rows["ann"] == (0.0, 2.0, 1.0)
+        assert rows["bob"] == (0.0, 3.0, 0.0)
+        assert rows["cat"] == (4.0, 1.0, 0.0)
+
+    def test_duplicate_cells_summed(self):
+        rel = Relation.from_rows(["a", "c", "v"],
+                                 [("x", "p", 1), ("x", "p", 2)])
+        out = pivot(rel, ["a"], "c", "v")
+        assert out.to_rows() == [("x", 3.0)]
+
+    def test_count_aggregate(self):
+        rel = Relation.from_rows(["a", "c", "v"],
+                                 [("x", "p", 10), ("x", "p", 20),
+                                  ("y", "q", 5)])
+        out = pivot(rel, ["a"], "c", "v", aggregate="count")
+        rows = {r[0]: r[1:] for r in out.to_rows()}
+        assert rows["x"] == (2.0, 0.0)
+        assert rows["y"] == (0.0, 1.0)
+
+    def test_custom_default(self, publications_long):
+        out = pivot(publications_long, ["author"], "conf", "cnt",
+                    default=-1.0)
+        rows = {r[0]: r[1:] for r in out.to_rows()}
+        assert rows["bob"] == (-1.0, 3.0, -1.0)
+
+    def test_multi_index(self):
+        rel = Relation.from_rows(
+            ["a", "year", "c", "v"],
+            [("x", 2020, "p", 1), ("x", 2021, "p", 2)])
+        out = pivot(rel, ["a", "year"], "c", "v")
+        assert out.nrows == 2
+
+    def test_non_numeric_value_rejected(self):
+        rel = Relation.from_rows(["a", "c", "v"], [("x", "p", "hello")])
+        with pytest.raises(RelationError):
+            pivot(rel, ["a"], "c", "v")
+
+    def test_empty_rejected(self):
+        rel = Relation.from_columns({"a": [], "c": [], "v": []})
+        with pytest.raises(RelationError):
+            pivot(rel, ["a"], "c", "v")
+
+    def test_bad_aggregate_rejected(self, publications_long):
+        with pytest.raises(RelationError):
+            pivot(publications_long, ["author"], "conf", "cnt",
+                  aggregate="median")
+
+
+class TestUnpivot:
+    def test_roundtrip(self, publications_long):
+        wide = pivot(publications_long, ["author"], "conf", "cnt")
+        long = unpivot(wide, ["author"], ["ICDE", "SIGMOD", "VLDB"],
+                       var_name="conf", value_name="cnt")
+        assert long.nrows == 9  # 3 authors x 3 conferences
+        rows = {(r[0], r[1]): r[2] for r in long.to_rows()}
+        assert rows[("ann", "SIGMOD")] == 2.0
+        assert rows[("bob", "VLDB")] == 0.0
+
+    def test_requires_value_columns(self, publications_long):
+        wide = pivot(publications_long, ["author"], "conf", "cnt")
+        with pytest.raises(RelationError):
+            unpivot(wide, ["author"], [])

@@ -1,0 +1,134 @@
+"""Tests for the Relation type."""
+
+import numpy as np
+import pytest
+
+from repro.bat.bat import BAT, DataType
+from repro.errors import AlignmentError, SchemaError
+from repro.relational import Relation
+from repro.relational.schema import Attribute, Schema
+
+
+class TestConstruction:
+    def test_from_columns(self):
+        rel = Relation.from_columns({"a": [1, 2], "b": ["x", "y"]})
+        assert rel.names == ["a", "b"]
+        assert rel.nrows == 2
+        assert rel.schema.dtype("b") is DataType.STR
+
+    def test_from_rows(self, weather):
+        assert weather.nrows == 4
+        assert weather.names == ["T", "H", "W"]
+
+    def test_from_columns_with_numpy(self):
+        rel = Relation.from_columns({"a": np.arange(3)})
+        assert rel.column("a").dtype is DataType.INT
+
+    def test_from_columns_with_bat(self):
+        rel = Relation.from_columns({"a": BAT.from_values([1.5])})
+        assert rel.schema.dtype("a") is DataType.DBL
+
+    def test_explicit_types(self):
+        rel = Relation.from_columns({"a": [1, 2]}, {"a": DataType.DBL})
+        assert rel.schema.dtype("a") is DataType.DBL
+
+    def test_empty(self):
+        rel = Relation.empty(Schema.of(("a", DataType.INT)))
+        assert rel.nrows == 0
+
+    def test_misaligned_rejected(self):
+        schema = Schema.of(("a", DataType.INT), ("b", DataType.INT))
+        with pytest.raises(AlignmentError):
+            Relation(schema, [BAT.from_values([1]),
+                              BAT.from_values([1, 2])])
+
+    def test_type_mismatch_rejected(self):
+        schema = Schema.of(("a", DataType.STR))
+        with pytest.raises(SchemaError):
+            Relation(schema, [BAT.from_values([1])])
+
+    def test_wrong_column_count_rejected(self):
+        schema = Schema.of(("a", DataType.INT))
+        with pytest.raises(SchemaError):
+            Relation(schema, [])
+
+
+class TestAccess:
+    def test_column_and_row(self, weather):
+        assert weather.column("H").python_values() == [1.0, 8.0, 6.0, 1.0]
+        assert weather.row(1) == ("8am", 8.0, 5.0)
+
+    def test_to_rows(self, users):
+        rows = users.to_rows()
+        assert ("Tom", "FL", 1965) in rows
+
+    def test_to_dict(self, users):
+        assert users.to_dict()["State"] == ["CA", "FL", "CA"]
+
+    def test_bats_order(self, weather):
+        bats = weather.bats(["W", "T"])
+        assert bats[0].python_values()[0] == 3.0
+        assert bats[1].python_values()[0] == "5am"
+
+    def test_numeric_attribute_names(self, weather):
+        assert weather.numeric_attribute_names() == ["H", "W"]
+
+
+class TestStructure:
+    def test_replace_columns(self, weather):
+        doubled = weather.replace_columns(
+            H=BAT.from_values([2.0, 16.0, 12.0, 2.0]))
+        assert doubled.column("H").python_values()[1] == 16.0
+        # original untouched
+        assert weather.column("H").python_values()[1] == 8.0
+
+    def test_is_key(self, weather):
+        assert weather.is_key(["T"])
+        assert not weather.is_key(["H"])
+        assert weather.is_key(["H", "W"])
+
+    def test_sorted_by(self, weather):
+        ordered = weather.sorted_by(["T"])
+        assert ordered.column("T").python_values() == [
+            "5am", "6am", "7am", "8am"]
+        assert ordered.column("H").python_values() == [1.0, 1.0, 6.0, 8.0]
+
+    def test_sort_positions_example_3_1(self, weather):
+        # Example 3.1: third tuple sorted by V... adapted: sorted by H the
+        # third tuple (stable) is (7am, 6, 7) -> index 2 of storage.
+        positions = weather.sort_positions(["H"])
+        assert weather.row(int(positions[2])) == ("7am", 6.0, 7.0)
+
+
+class TestComparison:
+    def test_same_rows_ignores_order(self, users):
+        shuffled = Relation.from_rows(
+            ["User", "State", "YoB"],
+            [("Jan", "CA", 1970), ("Ann", "CA", 1980),
+             ("Tom", "FL", 1965)])
+        assert users.same_rows(shuffled)
+
+    def test_same_rows_detects_difference(self, users):
+        other = Relation.from_rows(
+            ["User", "State", "YoB"],
+            [("Jan", "CA", 1970), ("Ann", "CA", 1980),
+             ("Tom", "FL", 1900)])
+        assert not users.same_rows(other)
+
+    def test_same_rows_tolerates_float_noise(self):
+        a = Relation.from_columns({"x": [1.0]})
+        b = Relation.from_columns({"x": [1.0 + 1e-12]})
+        assert a.same_rows(b)
+
+
+class TestDisplay:
+    def test_pretty_contains_values(self, users):
+        text = users.pretty()
+        assert "User" in text and "Ann" in text
+
+    def test_pretty_truncates(self):
+        rel = Relation.from_columns({"x": list(range(100))})
+        assert "100 rows total" in rel.pretty(max_rows=5)
+
+    def test_repr(self, users):
+        assert "3 rows" in repr(users)

@@ -1,0 +1,100 @@
+"""Tests for schemas and attributes."""
+
+import pytest
+
+from repro.bat.bat import DataType
+from repro.errors import SchemaError
+from repro.relational.schema import Attribute, Schema
+
+
+class TestAttribute:
+    def test_basic(self):
+        attr = Attribute("H", DataType.DBL)
+        assert str(attr) == "H double"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", DataType.INT)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", "int")
+
+    def test_renamed(self):
+        attr = Attribute("a", DataType.INT).renamed("b")
+        assert attr.name == "b"
+        assert attr.dtype is DataType.INT
+
+
+class TestSchema:
+    def test_ordered_names(self):
+        schema = Schema.of(("T", DataType.STR), ("H", DataType.INT))
+        assert schema.names == ["T", "H"]
+        assert len(schema) == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("a", DataType.INT), ("a", DataType.INT))
+
+    def test_index_and_lookup(self):
+        schema = Schema.of(("a", DataType.INT), ("b", DataType.STR))
+        assert schema.index("b") == 1
+        assert schema["b"].dtype is DataType.STR
+        assert schema[0].name == "a"
+        assert "a" in schema and "z" not in schema
+
+    def test_unknown_attribute(self):
+        schema = Schema.of(("a", DataType.INT))
+        with pytest.raises(SchemaError):
+            schema.index("z")
+
+    def test_project_keeps_given_order(self):
+        schema = Schema.of(("a", DataType.INT), ("b", DataType.INT),
+                           ("c", DataType.INT))
+        assert schema.project(["c", "a"]).names == ["c", "a"]
+
+    def test_complement_is_application_schema(self):
+        # U-bar = R - U in schema order (paper §4).
+        schema = Schema.of(("T", DataType.STR), ("H", DataType.DBL),
+                           ("W", DataType.DBL))
+        assert schema.complement(["T"]) == ["H", "W"]
+        assert schema.complement(["W", "T"]) == ["H"]
+
+    def test_complement_unknown_rejected(self):
+        schema = Schema.of(("a", DataType.INT))
+        with pytest.raises(SchemaError):
+            schema.complement(["nope"])
+
+    def test_rename(self):
+        schema = Schema.of(("a", DataType.INT), ("b", DataType.INT))
+        renamed = schema.rename({"a": "x"})
+        assert renamed.names == ["x", "b"]
+
+    def test_rename_unknown_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("a", DataType.INT)).rename({"z": "x"})
+
+    def test_concat(self):
+        left = Schema.of(("a", DataType.INT))
+        right = Schema.of(("b", DataType.STR))
+        assert left.concat(right).names == ["a", "b"]
+
+    def test_concat_collision_rejected(self):
+        left = Schema.of(("a", DataType.INT))
+        with pytest.raises(SchemaError):
+            left.concat(left)
+
+    def test_union_compatible(self):
+        a = Schema.of(("x", DataType.INT), ("y", DataType.DBL))
+        b = Schema.of(("p", DataType.DBL), ("q", DataType.INT))
+        c = Schema.of(("p", DataType.STR), ("q", DataType.INT))
+        assert a.union_compatible(b)  # numeric types are compatible
+        assert not a.union_compatible(c)
+        assert not a.union_compatible(Schema.of(("x", DataType.INT)))
+
+    def test_equality_and_hash(self):
+        a = Schema.of(("x", DataType.INT))
+        b = Schema.of(("x", DataType.INT))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Schema.of(("y", DataType.INT))

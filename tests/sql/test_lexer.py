@@ -1,0 +1,77 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.lexer import tokenize
+
+
+def kinds(sql):
+    return [(t.kind, t.value) for t in tokenize(sql)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_uppercased(self):
+        assert kinds("select from") == [("KEYWORD", "SELECT"),
+                                        ("KEYWORD", "FROM")]
+
+    def test_identifiers_keep_case(self):
+        assert kinds("Trips") == [("IDENT", "Trips")]
+
+    def test_numbers(self):
+        assert kinds("1 2.5 1e3 2.5E-2") == [
+            ("NUMBER", "1"), ("NUMBER", "2.5"), ("NUMBER", "1e3"),
+            ("NUMBER", "2.5E-2")]
+
+    def test_leading_dot_number(self):
+        assert kinds(".5") == [("NUMBER", ".5")]
+
+    def test_strings(self):
+        assert kinds("'hello'") == [("STRING", "hello")]
+
+    def test_string_escape(self):
+        assert kinds("'it''s'") == [("STRING", "it's")]
+
+    def test_quoted_identifier(self):
+        assert kinds('"Group"') == [("IDENT", "Group")]
+
+    def test_symbols(self):
+        assert [v for _, v in kinds("<= >= <> != = ( ) , . ;")] == [
+            "<=", ">=", "<>", "!=", "=", "(", ")", ",", ".", ";"]
+
+    def test_comment_skipped(self):
+        assert kinds("1 -- comment\n2") == [("NUMBER", "1"),
+                                            ("NUMBER", "2")]
+
+    def test_eof_token(self):
+        assert tokenize("x")[-1].kind == "EOF"
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize("SELECT\n  x")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize('"oops')
+
+    def test_bad_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @x")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("SELECT\n @")
+        except SqlSyntaxError as exc:
+            assert exc.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected SqlSyntaxError")

@@ -1,0 +1,267 @@
+"""Parser tests, including the RMA FROM-clause extension and round trips."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast
+from repro.sql.parser import parse_sql
+
+
+class TestSelectBasics:
+    def test_star(self):
+        stmt = parse_sql("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+        assert stmt.source == ast.TableRef("t")
+
+    def test_qualified_star(self):
+        stmt = parse_sql("SELECT t.* FROM t")
+        assert stmt.items[0].expr == ast.Star("t")
+
+    def test_aliases(self):
+        stmt = parse_sql("SELECT a AS x, b y FROM t AS u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.source.alias == "u"
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+
+    def test_no_from(self):
+        stmt = parse_sql("SELECT 1 + 2")
+        assert stmt.source is None
+
+    def test_where_group_having_order_limit(self):
+        stmt = parse_sql(
+            "SELECT a, COUNT(*) FROM t WHERE b > 1 GROUP BY a "
+            "HAVING COUNT(*) > 2 ORDER BY a DESC LIMIT 10 OFFSET 5")
+        assert stmt.where is not None
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending
+        assert stmt.limit == 10 and stmt.offset == 5
+
+    def test_trailing_semicolon(self):
+        parse_sql("SELECT 1;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT 1 SELECT 2")
+
+
+class TestExpressions:
+    def expr(self, sql):
+        return parse_sql(f"SELECT {sql}").items[0].expr
+
+    def test_precedence(self):
+        expr = self.expr("1 + 2 * 3")
+        assert expr == ast.BinaryOp(
+            "+", ast.Literal(1),
+            ast.BinaryOp("*", ast.Literal(2), ast.Literal(3)))
+
+    def test_parentheses(self):
+        expr = self.expr("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_unary_minus(self):
+        assert self.expr("-x") == ast.UnaryOp("-", ast.ColumnRef("x"))
+
+    def test_comparison_chain_with_and_or(self):
+        expr = self.expr("a > 1 AND b < 2 OR c = 3")
+        assert expr.op == "OR"
+        assert expr.left.op == "AND"
+
+    def test_not(self):
+        expr = self.expr("NOT a = 1")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "NOT"
+
+    def test_between(self):
+        expr = self.expr("x BETWEEN 1 AND 5")
+        assert isinstance(expr, ast.Between)
+
+    def test_not_between(self):
+        assert self.expr("x NOT BETWEEN 1 AND 5").negated
+
+    def test_in_list(self):
+        expr = self.expr("x IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_is_null(self):
+        assert isinstance(self.expr("x IS NULL"), ast.IsNull)
+        assert self.expr("x IS NOT NULL").negated
+
+    def test_like(self):
+        expr = self.expr("name LIKE 'A%'")
+        assert expr.op == "LIKE"
+
+    def test_date_literal(self):
+        assert self.expr("DATE '2014-04-15'") == ast.Literal(
+            dt.date(2014, 4, 15))
+
+    def test_time_literal(self):
+        assert self.expr("TIME '08:30:00'") == ast.Literal(dt.time(8, 30))
+
+    def test_case_when(self):
+        expr = self.expr("CASE WHEN x > 0 THEN 'pos' ELSE 'neg' END")
+        assert isinstance(expr, ast.CaseWhen)
+        assert expr.otherwise == ast.Literal("neg")
+
+    def test_function_call(self):
+        expr = self.expr("POWER(x, 2)")
+        assert expr == ast.FunctionCall("POWER", (ast.ColumnRef("x"),
+                                                  ast.Literal(2)))
+
+    def test_count_star(self):
+        expr = self.expr("COUNT(*)")
+        assert isinstance(expr.args[0], ast.Star)
+
+    def test_count_distinct(self):
+        assert self.expr("COUNT(DISTINCT x)").distinct
+
+    def test_string_concat(self):
+        assert self.expr("a || b").op == "||"
+
+    def test_qualified_column(self):
+        assert self.expr("t.x") == ast.ColumnRef("x", "t")
+
+
+class TestJoins:
+    def test_inner_join(self):
+        stmt = parse_sql("SELECT * FROM a JOIN b ON a.x = b.y")
+        join = stmt.source
+        assert isinstance(join, ast.Join)
+        assert join.kind == "inner"
+        assert join.condition is not None
+
+    def test_left_join(self):
+        stmt = parse_sql("SELECT * FROM a LEFT JOIN b ON a.x = b.y")
+        assert stmt.source.kind == "left"
+
+    def test_left_outer_join(self):
+        stmt = parse_sql("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y")
+        assert stmt.source.kind == "left"
+
+    def test_cross_join(self):
+        stmt = parse_sql("SELECT * FROM a CROSS JOIN b")
+        assert stmt.source.kind == "cross"
+
+    def test_comma_join(self):
+        stmt = parse_sql("SELECT * FROM a, b, c")
+        outer = stmt.source
+        assert outer.kind == "cross"
+        assert outer.left.kind == "cross"
+
+    def test_subquery(self):
+        stmt = parse_sql("SELECT * FROM (SELECT a FROM t) AS s")
+        assert isinstance(stmt.source, ast.SubqueryRef)
+        assert stmt.source.alias == "s"
+
+    def test_subquery_requires_alias(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT * FROM (SELECT a FROM t)")
+
+
+class TestRmaCalls:
+    def test_paper_example_inv(self):
+        """SELECT * FROM INV(rating BY User) — the paper's §1 query."""
+        stmt = parse_sql("SELECT * FROM INV(rating BY User)")
+        call = stmt.source
+        assert isinstance(call, ast.RmaCall)
+        assert call.op == "inv"
+        assert call.args[0] == ast.RmaArg(ast.TableRef("rating"), ("User",))
+
+    def test_binary_mmu(self):
+        stmt = parse_sql("SELECT * FROM MMU(r BY U, s BY V)")
+        call = stmt.source
+        assert call.op == "mmu"
+        assert call.args[0].by == ("U",)
+        assert call.args[1].by == ("V",)
+
+    def test_multi_attribute_by(self):
+        stmt = parse_sql("SELECT * FROM QQR(r BY a, b, c)")
+        assert stmt.source.args[0].by == ("a", "b", "c")
+
+    def test_parenthesized_by(self):
+        stmt = parse_sql("SELECT * FROM ADD(r BY (a, b), s BY (c))")
+        assert stmt.source.args[0].by == ("a", "b")
+        assert stmt.source.args[1].by == ("c",)
+
+    def test_bare_by_lists_in_binary_call(self):
+        # ambiguous commas: `r BY a, b, s BY c` must split before `s BY`.
+        stmt = parse_sql("SELECT * FROM ADD(r BY a, b, s BY c, d)")
+        assert stmt.source.args[0] == ast.RmaArg(ast.TableRef("r"),
+                                                 ("a", "b"))
+        assert stmt.source.args[1] == ast.RmaArg(ast.TableRef("s"),
+                                                 ("c", "d"))
+
+    def test_nested_rma(self):
+        stmt = parse_sql("SELECT * FROM MMU(TRA(w3 BY U) BY C, w3 BY U)")
+        outer = stmt.source
+        inner = outer.args[0].table
+        assert isinstance(inner, ast.RmaCall)
+        assert inner.op == "tra"
+
+    def test_subquery_argument(self):
+        stmt = parse_sql(
+            "SELECT * FROM INV((SELECT a, b, c FROM t) BY a)")
+        assert isinstance(stmt.source.args[0].table, ast.SubqueryRef)
+
+    def test_alias(self):
+        stmt = parse_sql("SELECT * FROM MMU(a BY x, b BY y) AS w5")
+        assert stmt.source.alias == "w5"
+
+    def test_paper_folded_query(self):
+        """The §7.2 translation with CROSS JOIN and a scalar subquery."""
+        stmt = parse_sql(
+            "SELECT C, B/(M-1), H/(M-1), N/(M-1) "
+            "FROM MMU(w4 BY C, w3 BY U) AS w5 "
+            "CROSS JOIN (SELECT COUNT(*) AS M FROM w1) AS t")
+        assert stmt.source.kind == "cross"
+        assert isinstance(stmt.source.left, ast.RmaCall)
+
+    def test_missing_by_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT * FROM INV(rating)")
+
+
+class TestRoundTrip:
+    QUERIES = [
+        "SELECT * FROM t",
+        "SELECT a AS x FROM t WHERE b > 1 ORDER BY a DESC LIMIT 3",
+        "SELECT * FROM INV(rating BY User)",
+        "SELECT * FROM MMU(w4 BY C, w3 BY U) AS w5",
+        "SELECT a, COUNT(*) AS n FROM t GROUP BY a HAVING COUNT(*) > 1",
+        "SELECT * FROM a LEFT JOIN b ON a.x = b.y",
+        "SELECT CASE WHEN x > 0 THEN 1 ELSE 0 END AS sign FROM t",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_parse_render_parse(self, sql):
+        first = parse_sql(sql)
+        second = parse_sql(first.to_sql())
+        assert first == second
+
+
+class TestDdlDml:
+    def test_create_table(self):
+        stmt = parse_sql(
+            "CREATE TABLE t (a INT, b DOUBLE, c VARCHAR(10), d DATE)")
+        assert isinstance(stmt, ast.CreateTable)
+        assert [c.type_name for c in stmt.columns] == [
+            "INT", "DOUBLE", "VARCHAR", "DATE"]
+
+    def test_create_table_as(self):
+        stmt = parse_sql("CREATE TABLE t AS SELECT * FROM s")
+        assert stmt.source is not None
+
+    def test_drop(self):
+        stmt = parse_sql("DROP TABLE IF EXISTS t")
+        assert stmt.if_exists
+
+    def test_insert(self):
+        stmt = parse_sql("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, ast.InsertValues)
+        assert len(stmt.rows) == 2
+        assert stmt.columns == ("a", "b")

@@ -1,0 +1,62 @@
+"""Smoke tests: every example script must run end to end.
+
+The examples double as documentation; each contains its own assertions
+(recovered coefficients, verified origins, expected schemas), so running
+their mains is a meaningful integration check.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None) -> None:
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_examples_directory_complete():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert {"quickstart.py", "film_similarity.py", "bixi_regression.py",
+            "dblp_conferences.py", "weather_origins.py"} <= scripts
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "INV(rating BY User)" in out
+    assert "agree" in out
+
+
+def test_film_similarity(capsys):
+    run_example("film_similarity.py")
+    out = capsys.readouterr().out
+    assert "covariance" in out
+    assert "Balto" in out
+
+
+def test_bixi_regression(capsys):
+    run_example("bixi_regression.py", ["20000"])
+    out = capsys.readouterr().out
+    assert "recovered" in out and "ground truth" in out
+
+
+def test_dblp_conferences(capsys):
+    run_example("dblp_conferences.py")
+    out = capsys.readouterr().out
+    assert "A++" in out
+    assert "covariance" in out
+
+
+def test_weather_origins(capsys):
+    run_example("weather_origins.py")
+    out = capsys.readouterr().out
+    assert "origins verified" in out

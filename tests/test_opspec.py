@@ -1,0 +1,85 @@
+"""The operation table must match the paper's Tables 1 and 2 exactly
+(modulo the documented vsv deviation)."""
+
+import pytest
+
+from repro.opspec import LINEAR_OPS, OP_NAMES, OPS, SortClass, spec_of
+
+
+class TestCompleteness:
+    def test_all_19_operations(self):
+        expected = {"emu", "mmu", "opd", "cpd", "add", "sub", "tra",
+                    "sol", "inv", "evc", "evl", "qqr", "rqr", "dsv",
+                    "usv", "vsv", "det", "rnk", "chf"}
+        assert set(OP_NAMES) == expected
+        assert len(OP_NAMES) == 19
+
+    def test_lookup_case_insensitive(self):
+        assert spec_of("INV") is OPS["inv"]
+
+    def test_unknown_lists_known(self):
+        with pytest.raises(KeyError, match="add"):
+            spec_of("nope")
+
+
+class TestShapeTypesMatchPaperTable2:
+    CASES = {
+        "usv": ("r1", "r1"),
+        "opd": ("r1", "r2"),
+        "inv": ("r1", "c1"), "evc": ("r1", "c1"), "chf": ("r1", "c1"),
+        "qqr": ("r1", "c1"),
+        "mmu": ("r1", "c2"),
+        "evl": ("r1", "1"),
+        "tra": ("c1", "r1"),
+        "rqr": ("c1", "c1"), "dsv": ("c1", "c1"),
+        "cpd": ("c1", "c2"), "sol": ("c1", "c2"),
+        "emu": ("r*", "c*"), "add": ("r*", "c*"), "sub": ("r*", "c*"),
+        "det": ("1", "1"), "rnk": ("1", "1"),
+    }
+
+    @pytest.mark.parametrize("op,shape", sorted(CASES.items()))
+    def test_shape_type(self, op, shape):
+        assert spec_of(op).shape_type == shape
+
+    def test_vsv_documented_deviation(self):
+        # Paper prints (r1,1); we type it (c1,c1) — see opspec docstring.
+        assert spec_of("vsv").shape_type == ("c1", "c1")
+
+
+class TestArity:
+    def test_binary_ops(self):
+        binary = {name for name, spec in OPS.items() if spec.arity == 2}
+        assert binary == {"add", "sub", "emu", "mmu", "opd", "cpd", "sol"}
+
+    def test_unary_flag(self):
+        assert spec_of("tra").unary
+        assert not spec_of("mmu").unary
+
+
+class TestPreconditions:
+    def test_square_ops(self):
+        square = {name for name, spec in OPS.items() if spec.square}
+        assert square == {"inv", "evc", "evl", "chf", "det"}
+
+    def test_column_cast_requirements(self):
+        # Operations whose result names come from ▽ need |U| = 1.
+        assert spec_of("tra").order_card_one == (1,)
+        assert spec_of("usv").order_card_one == (1,)
+        assert spec_of("opd").order_card_one == (2,)
+
+    def test_elementwise_same_shape(self):
+        for op in ("add", "sub", "emu"):
+            assert spec_of(op).same_shape
+
+    def test_mmu_inner_dims(self):
+        assert spec_of("mmu").inner_dims
+
+
+class TestPolicyClassification:
+    def test_linear_ops_exactly(self):
+        # §8.6: "We execute linear operations (add, sub, emu) on BATs".
+        assert LINEAR_OPS == {"add", "sub", "emu"}
+
+    def test_sort_classes_cover_all_ops(self):
+        assert all(isinstance(spec.sort_class, SortClass)
+                   for spec in OPS.values())

@@ -1,0 +1,170 @@
+"""Cross-system agreement and phase behaviour of the four workloads.
+
+Every workload must compute the same answer on every system (that is what
+makes the Fig. 15-18 timing comparisons meaningful), and the structural
+properties behind the paper's explanations must hold (AIDA converts
+non-numeric columns, the engine keeps context, ...).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.bixi import (
+    generate_numeric_trips,
+    generate_stations,
+    generate_trips,
+)
+from repro.data.dblp import generate_publications, generate_ranking
+from repro.workloads import (
+    ConferencesDataset,
+    JourneysDataset,
+    TripsDataset,
+    run_conferences,
+    run_journeys,
+    run_trip_count,
+    run_trips,
+)
+from repro.workloads.common import PhaseTimes
+from repro.workloads.trip_count import make_dataset
+from repro.workloads.trips_olr import engine_prepare
+
+
+@pytest.fixture(scope="module")
+def stations():
+    return generate_stations(25, seed=1)
+
+
+@pytest.fixture(scope="module")
+def trips(stations):
+    return generate_trips(6_000, stations, seed=2)
+
+
+class TestPhaseTimes:
+    def test_measure_accumulates(self):
+        times = PhaseTimes()
+        with times.measure("prep"):
+            pass
+        with times.measure("matrix"):
+            pass
+        assert times.total == times.load + times.prep + times.matrix
+        assert times.prep >= 0.0
+
+    def test_agreement_helper(self):
+        from repro.workloads.common import WorkloadResult
+        a = WorkloadResult("x", PhaseTimes(), np.array([1.0, 2.0]))
+        b = WorkloadResult("y", PhaseTimes(), np.array([1.0, 2.0]))
+        c = WorkloadResult("z", PhaseTimes(), np.array([1.0, 2.5]))
+        assert a.agrees_with(b)
+        assert not a.agrees_with(c)
+        d = WorkloadResult("w", PhaseTimes(), np.array([1.0]))
+        assert not a.agrees_with(d)
+
+
+class TestTripsWorkload:
+    def test_all_systems_agree(self, trips, stations):
+        dataset = TripsDataset(trips, stations, 2014, 2017, min_count=5)
+        results = run_trips(dataset)
+        base = results[0]
+        assert base.system == "RMA+MKL"
+        for other in results[1:]:
+            assert other.agrees_with(base, rtol=1e-5), other.system
+
+    def test_recovers_generator_coefficients(self, trips, stations):
+        from repro.data.bixi import DURATION_INTERCEPT, DURATION_PER_KM
+        dataset = TripsDataset(trips, stations, 2014, 2017, min_count=5)
+        result = run_trips(dataset, ("rma-mkl",))[0]
+        intercept, slope = np.asarray(result.signature).ravel()
+        assert intercept == pytest.approx(DURATION_INTERCEPT, rel=0.15)
+        assert slope == pytest.approx(DURATION_PER_KM, rel=0.15)
+
+    def test_prepared_schema(self, trips, stations):
+        dataset = TripsDataset(trips, stations, 2014, 2015, min_count=5)
+        prepared = engine_prepare(dataset)
+        assert prepared.names == ["trip_id", "start_date", "start_time",
+                                  "is_member", "distance", "duration"]
+        # year filter applied
+        years = {d.year for d in
+                 prepared.column("start_date").python_values()}
+        assert years <= {2014, 2015}
+
+    def test_aida_converts_non_numeric(self, trips, stations):
+        dataset = TripsDataset(trips, stations, 2014, 2017, min_count=5)
+        result = run_trips(dataset, ("aida",))[0]
+        assert result.detail["converted"] >= 3  # date, time, member
+
+    def test_r_has_load_phase(self, trips, stations):
+        dataset = TripsDataset(trips, stations, 2014, 2017, min_count=5)
+        result = run_trips(dataset, ("r",))[0]
+        assert result.times.load > 0.0
+
+
+class TestJourneysWorkload:
+    @pytest.mark.parametrize("legs", [1, 2, 3])
+    def test_systems_agree(self, stations, legs):
+        trips = generate_numeric_trips(6_000, stations, seed=3)
+        dataset = JourneysDataset(trips, stations, n_legs=legs,
+                                  min_count=10)
+        results = run_journeys(dataset)
+        base = results[0]
+        for other in results[1:]:
+            assert other.agrees_with(base, rtol=1e-4), other.system
+
+    def test_aida_all_zero_copy(self, stations):
+        trips = generate_numeric_trips(4_000, stations, seed=3)
+        dataset = JourneysDataset(trips, stations, n_legs=2, min_count=10)
+        result = run_journeys(dataset, ("aida",))[0]
+        assert result.detail["zero_copy"] > 0
+
+    def test_journey_count_grows_with_legs(self, stations):
+        trips = generate_numeric_trips(6_000, stations, seed=3)
+        counts = []
+        for legs in (1, 2):
+            dataset = JourneysDataset(trips, stations, n_legs=legs,
+                                      min_count=10)
+            counts.append(run_journeys(dataset,
+                                       ("rma-mkl",))[0].detail["journeys"])
+        assert counts[1] > counts[0]
+
+
+class TestConferencesWorkload:
+    def test_systems_agree(self):
+        dataset = ConferencesDataset(generate_publications(800, 15),
+                                     generate_ranking(15))
+        results = run_conferences(dataset)
+        base = results[0]
+        for other in results[1:]:
+            assert other.agrees_with(base, rtol=1e-6), other.system
+
+    def test_a_plus_plus_rows_selected(self):
+        ranking = generate_ranking(15)
+        expected = sum(1 for r in ranking.column("rating").python_values()
+                       if r == "A++")
+        dataset = ConferencesDataset(generate_publications(500, 15),
+                                     ranking)
+        result = run_conferences(dataset, ("rma-mkl",))[0]
+        assert result.detail["a_plus_plus"] == expected
+
+    def test_matrix_phase_dominates(self):
+        dataset = ConferencesDataset(generate_publications(3_000, 60),
+                                     generate_ranking(60))
+        result = run_conferences(dataset, ("rma-mkl",))[0]
+        assert result.times.matrix > result.times.prep
+
+
+class TestTripCountWorkload:
+    def test_systems_agree(self):
+        dataset = make_dataset(5_000)
+        results = run_trip_count(dataset)
+        base = results[0]
+        for other in results[1:]:
+            assert other.agrees_with(base, rtol=1e-9), other.system
+
+    def test_add_uses_bat_backend_by_default(self):
+        from repro.core import RmaConfig
+        config = RmaConfig()
+        assert config.policy.choose("add", (1000, 10)).name == "bat"
+
+    def test_result_row_count(self):
+        dataset = make_dataset(1_000)
+        result = run_trip_count(dataset, ("rma-bat",))[0]
+        assert result.detail["rows"] == 1_000
