@@ -34,6 +34,7 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
+from repro.bat.properties import properties_enabled
 from repro.errors import AlignmentError, BatError, TypeMismatchError
 
 NIL_INT = np.iinfo(np.int64).min
@@ -162,9 +163,17 @@ def _encode_value(value: Any, dtype: DataType) -> Any:
 
 
 class BAT:
-    """One immutable column: dense OID head plus a typed value tail."""
+    """One immutable column: dense OID head plus a typed value tail.
 
-    __slots__ = ("dtype", "tail", "hseqbase")
+    Physical properties (MonetDB's ``tsorted``/``trevsorted``/``tkey``/
+    ``tnonil`` bits) are computed on first demand and cached in ``_props``;
+    immutability makes the cache trivially sound.  Constructors and
+    structural operations (:meth:`dense`, :meth:`constant`, :meth:`fetch`,
+    :meth:`slice`, :meth:`append`, :meth:`cast`) derive properties for free
+    where the algebra allows it instead of recomputing them.
+    """
+
+    __slots__ = ("dtype", "tail", "hseqbase", "_props", "_float_view")
 
     def __init__(self, dtype: DataType, tail: np.ndarray, hseqbase: int = 0):
         if not isinstance(dtype, DataType):
@@ -180,7 +189,11 @@ class BAT:
         self.dtype = dtype
         self.tail = tail
         self.hseqbase = int(hseqbase)
+        self._props: dict[str, bool] = {}
+        self._float_view: np.ndarray | None = None
         # Immutability guard: shared numpy buffers must not be written to.
+        # This is what makes the property cache sound: a cached tsorted/tkey
+        # bit can never be invalidated because the tail can never change.
         self.tail.setflags(write=False)
 
     # -- constructors ------------------------------------------------------
@@ -224,8 +237,10 @@ class BAT:
     @classmethod
     def dense(cls, n: int, hseqbase: int = 0, start: int = 0) -> "BAT":
         """A dense OID BAT ``start .. start + n - 1`` (MonetDB void column)."""
-        return cls(DataType.OID, np.arange(start, start + n, dtype=np.int64),
-                   hseqbase)
+        bat = cls(DataType.OID, np.arange(start, start + n, dtype=np.int64),
+                  hseqbase)
+        return bat._seed_props(tsorted=True, trevsorted=n <= 1,
+                               tkey=True, tnonil=True)
 
     @classmethod
     def constant(cls, value: Any, n: int, dtype: DataType | None = None,
@@ -236,7 +251,89 @@ class BAT:
         encoded = _encode_value(value, dtype)
         tail = np.empty(n, dtype=dtype.numpy_dtype)
         tail[:] = encoded
-        return cls(dtype, tail, hseqbase)
+        bat = cls(dtype, tail, hseqbase)
+        if value is None:
+            return bat._seed_props(tnonil=n == 0, tkey=n <= 1)
+        return bat._seed_props(tsorted=True, trevsorted=True,
+                               tkey=n <= 1, tnonil=True)
+
+    # -- physical properties -----------------------------------------------
+
+    def _lazy_prop(self, name: str, compute) -> bool:
+        if properties_enabled():
+            cached = self._props.get(name)
+            if cached is None:
+                cached = compute()
+                self._props[name] = cached
+            return cached
+        return compute()
+
+    def _seed_props(self, **props: bool | None) -> "BAT":
+        """Record known property values (internal; callers must be right).
+
+        ``None`` values are skipped, so call sites can pass conditional
+        derivations without branching.  No-op while the property layer is
+        disabled, which is what makes the ablation honest.
+        """
+        if properties_enabled():
+            for name, value in props.items():
+                if value is not None:
+                    self._props[name] = bool(value)
+        return self
+
+    def cached_prop(self, name: str) -> bool | None:
+        """Peek at a property without triggering its computation."""
+        if properties_enabled():
+            return self._props.get(name)
+        return None
+
+    @property
+    def tsorted(self) -> bool:
+        """Tail is non-decreasing in raw encoding order.
+
+        For DBL and STR the bit is only set on nil-free columns (NaN/None
+        break the total order); for INT-family types the nil sentinel is the
+        smallest value and participates in the order like any other.
+        """
+        return self._lazy_prop("tsorted",
+                               lambda: self._compute_sorted(reverse=False))
+
+    @property
+    def trevsorted(self) -> bool:
+        """Tail is non-increasing in raw encoding order."""
+        return self._lazy_prop("trevsorted",
+                               lambda: self._compute_sorted(reverse=True))
+
+    @property
+    def tkey(self) -> bool:
+        """All tail values are distinct (nil duplicates also violate it)."""
+        return self._lazy_prop("tkey", self._compute_key)
+
+    @property
+    def tnonil(self) -> bool:
+        """No nil entries in the tail."""
+        return self._lazy_prop("tnonil",
+                               lambda: not bool(self.is_nil().any()))
+
+    def _compute_sorted(self, reverse: bool) -> bool:
+        if len(self.tail) <= 1:
+            return True
+        if self.dtype in (DataType.DBL, DataType.STR) and not self.tnonil:
+            return False
+        a, b = self.tail[:-1], self.tail[1:]
+        cmp = (a >= b) if reverse else (a <= b)
+        return bool(np.all(np.asarray(cmp, dtype=bool)))
+
+    def _compute_key(self) -> bool:
+        n = len(self.tail)
+        if n <= 1:
+            return True
+        if self.tsorted or self.trevsorted:
+            neq = self.tail[:-1] != self.tail[1:]
+            return bool(np.all(np.asarray(neq, dtype=bool)))
+        if self.dtype is DataType.STR:
+            return len(set(self.tail)) == n
+        return len(np.unique(self.tail)) == n
 
     # -- basic accessors ---------------------------------------------------
 
@@ -281,8 +378,26 @@ class BAT:
         return raw
 
     def python_values(self) -> list[Any]:
-        """Decode the whole tail into python values (for display / CSV)."""
-        return [self.decode_value(self.tail[i]) for i in range(len(self))]
+        """Decode the whole tail into python values (for display / CSV).
+
+        Numeric dtypes go through ``ndarray.tolist`` (one C call) and only
+        pay a python pass when nils are actually present.
+        """
+        if self.dtype is DataType.DBL:
+            values = self.tail.tolist()
+            if np.isnan(self.tail).any():
+                values = [None if v != v else v for v in values]
+            return values
+        if self.dtype in (DataType.INT, DataType.OID):
+            values = self.tail.tolist()
+            if len(values) and (self.tail == NIL_INT).any():
+                values = [None if v == NIL_INT else v for v in values]
+            return values
+        if self.dtype is DataType.BOOL:
+            return self.tail.tolist()
+        if self.dtype is DataType.STR:
+            return list(self.tail)
+        return [self.decode_value(v) for v in self.tail.tolist()]
 
     def is_nil(self) -> np.ndarray:
         """Boolean mask of nil entries."""
@@ -297,20 +412,75 @@ class BAT:
 
     # -- column operations (delegated to kernels) --------------------------
 
-    def fetch(self, positions: np.ndarray) -> "BAT":
-        """Leftfetchjoin: gather tail values at the given positions."""
+    def fetch(self, positions: np.ndarray,
+              positions_sorted: bool | None = None,
+              positions_key: bool | None = None) -> "BAT":
+        """Leftfetchjoin: gather tail values at the given positions.
+
+        ``positions_sorted``/``positions_key`` are caller-supplied hints
+        (positions non-decreasing / free of duplicates); combined with this
+        BAT's cached properties they let the result inherit ``tsorted`` /
+        ``trevsorted`` / ``tkey`` without a rescan.  ``tnonil`` always
+        survives a gather (the values are a subset).
+        """
         positions = np.asarray(positions, dtype=np.int64)
-        return BAT(self.dtype, self.tail[positions], self.hseqbase)
+        out = BAT(self.dtype, self.tail[positions], self.hseqbase)
+        props = self._props
+        if props:
+            out._seed_props(
+                tnonil=True if props.get("tnonil") else None,
+                tsorted=(True if positions_sorted and props.get("tsorted")
+                         else None),
+                trevsorted=(True if positions_sorted
+                            and props.get("trevsorted") else None),
+                tkey=True if positions_key and props.get("tkey") else None)
+        return out
 
     def slice(self, start: int, stop: int) -> "BAT":
-        return BAT(self.dtype, self.tail[start:stop], self.hseqbase)
+        out = BAT(self.dtype, self.tail[start:stop], self.hseqbase)
+        props = self._props
+        if props:
+            # Every property survives contiguous subsetting.
+            out._seed_props(**{name: True for name in
+                               ("tsorted", "trevsorted", "tkey", "tnonil")
+                               if props.get(name)})
+        return out
 
     def append(self, other: "BAT") -> "BAT":
         if other.dtype is not self.dtype:
             raise TypeMismatchError(
                 f"cannot append {other.dtype.value} to {self.dtype.value}")
-        return BAT(self.dtype, np.concatenate([self.tail, other.tail]),
-                   self.hseqbase)
+        out = BAT(self.dtype, np.concatenate([self.tail, other.tail]),
+                  self.hseqbase)
+        if len(self) == 0 or len(other) == 0:
+            source = other if len(self) == 0 else self
+            return out._seed_props(**{name: True for name in
+                                      ("tsorted", "trevsorted", "tkey",
+                                       "tnonil")
+                                      if source._props.get(name)})
+        sp, op = self._props, other._props
+        seeds: dict[str, bool] = {}
+        if sp.get("tnonil") and op.get("tnonil"):
+            seeds["tnonil"] = True
+        # Disjoint sorted runs: the concatenation stays sorted when the
+        # boundary values agree with the direction, and stays a key when
+        # both runs are strictly monotonic and the boundary is strict.
+        try:
+            if sp.get("tsorted") and op.get("tsorted") \
+                    and bool(self.tail[-1] <= other.tail[0]):
+                seeds["tsorted"] = True
+                if sp.get("tkey") and op.get("tkey") \
+                        and bool(self.tail[-1] < other.tail[0]):
+                    seeds["tkey"] = True
+            if sp.get("trevsorted") and op.get("trevsorted") \
+                    and bool(self.tail[-1] >= other.tail[0]):
+                seeds["trevsorted"] = True
+                if sp.get("tkey") and op.get("tkey") \
+                        and bool(self.tail[-1] > other.tail[0]):
+                    seeds["tkey"] = True
+        except TypeError:
+            pass  # non-comparable boundary (nil strings): derive nothing
+        return out._seed_props(**seeds)
 
     def cast(self, dtype: DataType) -> "BAT":
         """Cast to another logical type (INT <-> DBL, anything -> STR)."""
@@ -324,23 +494,55 @@ class BAT:
         if self.dtype is DataType.INT and dtype is DataType.DBL:
             tail = self.tail.astype(np.float64)
             tail[self.tail == NIL_INT] = np.nan
-            return BAT(DataType.DBL, tail, self.hseqbase)
+            return BAT(DataType.DBL, tail,
+                       self.hseqbase)._seed_props(**self._numeric_cast_props())
         if self.dtype is DataType.DBL and dtype is DataType.INT:
             tail = np.where(np.isnan(self.tail), NIL_INT,
                             self.tail).astype(np.int64)
-            return BAT(DataType.INT, tail, self.hseqbase)
+            return BAT(DataType.INT, tail,
+                       self.hseqbase)._seed_props(**self._numeric_cast_props())
         if self.dtype is DataType.OID and dtype is DataType.INT:
-            return BAT(DataType.INT, self.tail.copy(), self.hseqbase)
+            return BAT(DataType.INT, self.tail.copy(),
+                       self.hseqbase)._seed_props(**self._props)
         if self.dtype is DataType.INT and dtype is DataType.OID:
-            return BAT(DataType.OID, self.tail.copy(), self.hseqbase)
+            return BAT(DataType.OID, self.tail.copy(),
+                       self.hseqbase)._seed_props(**self._props)
         raise TypeMismatchError(
             f"unsupported cast {self.dtype.value} -> {dtype.value}")
 
+    def _numeric_cast_props(self) -> dict[str, bool | None]:
+        """Properties an INT <-> DBL cast preserves.
+
+        int64 -> float64 and truncation back are monotone non-decreasing but
+        not injective (floats above 2**53, fractional values), so order bits
+        carry over on nil-free columns while ``tkey`` never does.
+        """
+        props = self._props
+        nonil = props.get("tnonil")
+        return {
+            "tnonil": nonil,
+            "tsorted": True if props.get("tsorted") and nonil else None,
+            "trevsorted": (True if props.get("trevsorted") and nonil
+                           else None),
+        }
+
     def as_float(self) -> np.ndarray:
-        """Return the tail as a float64 array (application-part view)."""
+        """Return the tail as a float64 array (application-part view).
+
+        For INT columns the cast result is cached (read-only) on the
+        instance: repeated operations over the same relation pay the copy
+        once.  Nil handling matches the uncached behaviour: the raw
+        ``NIL_INT`` sentinel is cast verbatim, not mapped to NaN.
+        """
         if self.dtype is DataType.DBL:
             return self.tail
         if self.dtype is DataType.INT:
+            if properties_enabled():
+                if self._float_view is None:
+                    view = self.tail.astype(np.float64)
+                    view.setflags(write=False)
+                    self._float_view = view
+                return self._float_view
             return self.tail.astype(np.float64)
         raise TypeMismatchError(
             f"column of type {self.dtype.value} is not numeric")
@@ -379,12 +581,11 @@ class BAT:
     # -- key / uniqueness --------------------------------------------------
 
     def is_key(self) -> bool:
-        """Whether all tail values are distinct (no nil duplicates either)."""
-        if len(self) <= 1:
-            return True
-        if self.dtype is DataType.STR:
-            return len(set(self.tail)) == len(self)
-        return len(np.unique(self.tail)) == len(self)
+        """Whether all tail values are distinct (no nil duplicates either).
+
+        Alias of :attr:`tkey`; kept for the kernel-facing vocabulary.
+        """
+        return self.tkey
 
     # -- dunder ------------------------------------------------------------
 

@@ -15,6 +15,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.bat.bat import BAT, DataType, NIL_INT, align_check, _encode_value
+from repro.bat.properties import properties_enabled
 from repro.errors import BatError, TypeMismatchError
 
 Candidates = np.ndarray
@@ -145,19 +146,62 @@ def compare(op: str, a: BAT, b: BAT | Any) -> np.ndarray:
     return np.asarray(out, dtype=bool)
 
 
+_RANGE_OPS = frozenset(("=", "==", "<", "<=", ">", ">="))
+
+
 def thetaselect(a: BAT, op: str, value: Any,
                 candidates: Candidates | None = None) -> Candidates:
     """Select positions where ``a <op> value`` holds (MonetDB thetaselect).
 
     If ``candidates`` is given, only those positions are considered and the
-    result is a sub-list of it.
+    result is a sub-list of it.  On a sorted column (``tsorted``) a range
+    predicate is answered with two binary searches instead of a full scan —
+    the first call pays the O(n) sortedness check, every later call is
+    O(log n).
     """
+    if (candidates is None and op in _RANGE_OPS and len(a) > 1
+            and properties_enabled() and a.tsorted):
+        result = _sorted_thetaselect(a, op, value)
+        if result is not None:
+            return result
     if candidates is not None:
         sub = a.fetch(candidates)
         mask = compare(op, sub, value)
         return candidates[mask]
     mask = compare(op, a, value)
     return np.nonzero(mask)[0].astype(np.int64)
+
+
+def _sorted_thetaselect(a: BAT, op: str, value: Any) -> Candidates | None:
+    """Binary-search selection over a sorted tail; None means fall back.
+
+    Matches the scan semantics exactly: comparisons are on raw encoded
+    values, so the INT nil sentinel (int64 min) participates as the smallest
+    value, just as it does in :func:`compare`.  Nil search values (None, or
+    NaN whose ordering ``searchsorted`` and ``compare`` disagree on) take
+    the scan path.
+    """
+    encoded = _encode_value(value, a.dtype)
+    if encoded is None or (isinstance(encoded, float)
+                           and encoded != encoded):
+        return None
+    tail = a.tail
+    n = len(tail)
+    if op in ("=", "=="):
+        lo = int(np.searchsorted(tail, encoded, side="left"))
+        hi = int(np.searchsorted(tail, encoded, side="right"))
+        return np.arange(lo, hi, dtype=np.int64)
+    if op == "<":
+        hi = int(np.searchsorted(tail, encoded, side="left"))
+        return np.arange(0, hi, dtype=np.int64)
+    if op == "<=":
+        hi = int(np.searchsorted(tail, encoded, side="right"))
+        return np.arange(0, hi, dtype=np.int64)
+    if op == ">":
+        lo = int(np.searchsorted(tail, encoded, side="right"))
+        return np.arange(lo, n, dtype=np.int64)
+    lo = int(np.searchsorted(tail, encoded, side="left"))
+    return np.arange(lo, n, dtype=np.int64)
 
 
 def mask_to_candidates(mask: np.ndarray,

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bat.bat import BAT, DataType
+from repro.bat.properties import properties_enabled
 from repro.errors import BatError, KeyViolationError
 
 
@@ -38,12 +39,46 @@ def order_by(bats: list[BAT]) -> np.ndarray:
     for b in bats[1:]:
         if len(b) != n:
             raise BatError("order_by columns are misaligned")
+    if properties_enabled() and _already_ordered(bats):
+        return np.arange(n, dtype=np.int64)
     positions = np.arange(n, dtype=np.int64)
     for bat in reversed(bats):
         key = _sort_key_array(bat)[positions]
         order = np.argsort(key, kind="stable")
         positions = positions[order]
     return positions
+
+
+def _require_orderable(bats: list[BAT]) -> None:
+    """Raise the nil-string error the sort path would raise.
+
+    Property short-circuits that skip :func:`_sort_key_array` must still
+    surface its error, or enabling the layer would change behaviour.  The
+    check is the column's (cached) ``tnonil`` bit, so it is paid once.
+    """
+    for bat in bats:
+        if bat.dtype is DataType.STR and not bat.tnonil:
+            raise BatError("cannot order by a column containing nil strings")
+
+
+def _already_ordered(bats: list[BAT]) -> bool:
+    """Whether storage order already is the stable lexicographic order.
+
+    A single column gets a full (O(n), cached) sortedness check — cheaper
+    than the O(n log n) argsort it avoids.  For multi-column orders only
+    cached bits are consulted, so cold data pays nothing extra: the order is
+    the identity when the major key is sorted and strictly increasing (the
+    stable sort never reaches the minor keys), or when every column is
+    sorted (rows are then lexicographically non-decreasing).
+    """
+    if len(bats) == 1:
+        return bats[0].tsorted
+    first = bats[0]
+    if (first._props.get("tsorted") and first._props.get("tkey")) \
+            or all(b._props.get("tsorted") for b in bats):
+        _require_orderable(bats)
+        return True
+    return False
 
 
 def rank_of(positions: np.ndarray) -> np.ndarray:
@@ -69,26 +104,58 @@ def check_key(bats: list[BAT], order: np.ndarray | None = None) -> bool:
     n = len(bats[0])
     if n <= 1:
         return True
+    if properties_enabled():
+        verdict = _key_shortcut(bats)
+        if verdict is not None:
+            if order is None:
+                # The sort below would have rejected nil strings; keep
+                # that behaviour identical with the layer on.
+                _require_orderable(bats)
+            return verdict
     if order is None:
         order = order_by(bats)
     duplicate = np.ones(n - 1, dtype=bool)
     for bat in bats:
         key = bat.tail[order]
-        if bat.dtype is DataType.STR:
-            eq = np.array([key[i] == key[i + 1] for i in range(n - 1)],
-                          dtype=bool)
-        else:
-            eq = key[:-1] == key[1:]
+        # Object (STR) tails compare element-wise just like numeric ones;
+        # None == None holds, so nil duplicates are still caught.
+        eq = np.asarray(key[:-1] == key[1:], dtype=bool)
         duplicate &= eq
         if not duplicate.any():
             return True
     return not bool(duplicate.any())
 
 
+def _key_shortcut(bats: list[BAT]) -> bool | None:
+    """Key verdict from properties alone, without sorting; None undecided.
+
+    A superset of a key is a key, so any column whose ``tkey`` bit is set
+    settles the question.  For a single column the computed ``tkey`` is
+    scan-equivalent except when it is False on a DBL nil column: np.unique
+    collapses NaNs while the adjacent-equality scan keeps NaN != NaN, so
+    that corner stays undecided.
+    """
+    for bat in bats:
+        if bat._props.get("tkey"):
+            return True
+    if len(bats) == 1:
+        bat = bats[0]
+        if bat.tkey:
+            return True
+        if bat.dtype is not DataType.DBL or bat.tnonil:
+            return False
+    return None
+
+
+def key_violation(names: list[str]) -> KeyViolationError:
+    """The error raised when an order schema has duplicate tuples."""
+    return KeyViolationError(
+        f"order schema ({', '.join(names)}) does not form a key: "
+        "duplicate tuples found")
+
+
 def require_key(bats: list[BAT], names: list[str],
                 order: np.ndarray | None = None) -> None:
     """Raise :class:`KeyViolationError` unless the columns form a key."""
     if not check_key(bats, order):
-        raise KeyViolationError(
-            f"order schema ({', '.join(names)}) does not form a key: "
-            "duplicate tuples found")
+        raise key_violation(names)

@@ -18,12 +18,21 @@ class RmaConfig:
       of Fig. 13;
     * ``validate_keys`` — verify that order schemas form keys.  This is the
       safe default; benchmarks that reproduce the paper's timings disable it
-      (MonetDB relies on declared key constraints instead of re-checking).
+      (MonetDB relies on declared key constraints instead of re-checking);
+    * ``use_properties`` — exploit cached physical properties and the
+      per-relation order cache (BAT ``tsorted``/``tkey`` bits, memoized sort
+      permutations and float views; see :mod:`repro.bat.properties`).
+      Immutability makes the caches sound, so this is on by default;
+      ``benchmarks/bench_ablation_properties.py`` measures the ablation.
+      The flag gates the engine-level caches; the BAT-layer short-circuits
+      are gated by the module switch in :mod:`repro.bat.properties`, which
+      ablations toggle alongside this flag.
     """
 
     policy: BackendPolicy = field(default_factory=BackendPolicy)
     optimize_sorting: bool = True
     validate_keys: bool = True
+    use_properties: bool = True
 
 
 _DEFAULT = RmaConfig()

@@ -23,8 +23,9 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.bat.bat import BAT
-from repro.bat.sorting import order_by, rank_of, require_key
+from repro.bat.bat import BAT, DataType
+from repro.bat.properties import properties_enabled
+from repro.bat.sorting import key_violation, order_by, rank_of, require_key
 from repro.core.config import RmaConfig
 from repro.errors import (
     ApplicationSchemaError,
@@ -105,27 +106,59 @@ def split_schema(relation: Relation, by: str | Sequence[str],
 
 
 def _prepare_sorted(relation: Relation, order_names: list[str],
-                    app_names: list[str],
-                    validate: bool) -> PreparedInput:
-    """FULL sorting: argsort the order part, fetchjoin everything."""
+                    app_names: list[str], validate: bool,
+                    use_props: bool) -> PreparedInput:
+    """FULL sorting: argsort the order part, fetchjoin everything.
+
+    With the property layer on, the permutation and key check come from the
+    relation's order cache (computed once per relation and order schema)
+    and the application part is gathered from each column's cached float
+    view instead of fetch-then-cast.
+    """
     order_bats = relation.bats(order_names)
-    positions = order_by(order_bats)
-    if validate:
-        require_key(order_bats, order_names, positions)
-    sorted_order = [bat.fetch(positions) for bat in order_bats]
-    app_columns = [relation.column(n).fetch(positions).as_float()
-                   for n in app_names]
+    if use_props:
+        info = relation.order_info(order_names)
+        if validate and not info.is_key:
+            raise key_violation(order_names)
+        positions = info.positions
+        app_columns = [relation.column(n).as_float()[positions]
+                       for n in app_names]
+    else:
+        positions = order_by(order_bats)
+        if validate:
+            require_key(order_bats, order_names, positions)
+        app_columns = [relation.column(n).fetch(positions).as_float()
+                       for n in app_names]
+    sorted_order = [bat.fetch(positions, positions_key=True)
+                    for bat in order_bats]
+    if sorted_order:
+        _seed_major_key_sorted(sorted_order[0])
     return PreparedInput(relation, order_names, app_names, sorted_order,
                          app_columns, sorted_storage=True)
 
 
+def _seed_major_key_sorted(bat: BAT) -> None:
+    """After a lexicographic sort, the major key column is sorted — except
+    in raw-encoding terms for DBL with NaN (argsort puts NaN last, the
+    ``tsorted`` contract is nil-free only), so that case is not seeded
+    unless the column is known nil-free.  STR columns are safe here:
+    ``order_by`` already rejected nil strings.
+    """
+    if bat.dtype is not DataType.DBL or bat.cached_prop("tnonil"):
+        bat._seed_props(tsorted=True)
+
+
 def _prepare_unsorted(relation: Relation, order_names: list[str],
-                      app_names: list[str],
-                      validate: bool) -> PreparedInput:
+                      app_names: list[str], validate: bool,
+                      use_props: bool) -> PreparedInput:
     """No sorting: storage order is the kernel order."""
     order_bats = relation.bats(order_names)
     if validate:
-        require_key(order_bats, order_names)
+        if use_props:
+            if not relation.order_info(order_names).is_key:
+                raise key_violation(order_names)
+        else:
+            require_key(order_bats, order_names)
     app_columns = [relation.column(n).as_float() for n in app_names]
     return PreparedInput(relation, order_names, app_names, order_bats,
                          app_columns, sorted_storage=False)
@@ -146,10 +179,13 @@ def prepare_unary(relation: Relation, by: str | Sequence[str],
                   spec: OpSpec, config: RmaConfig) -> PreparedInput:
     order_names, app_names = split_schema(relation, by, spec, argument=1)
     validate = _needs_key(spec, config)
+    use_props = config.use_properties
     if not config.optimize_sorting or spec.sort_class is SortClass.FULL:
-        return _prepare_sorted(relation, order_names, app_names, validate)
+        return _prepare_sorted(relation, order_names, app_names, validate,
+                               use_props)
     # INVARIANT and EQUIVARIANT unary operations skip sorting (§8.1).
-    return _prepare_unsorted(relation, order_names, app_names, validate)
+    return _prepare_unsorted(relation, order_names, app_names, validate,
+                             use_props)
 
 
 def prepare_binary(r: Relation, r_by: str | Sequence[str], s: Relation,
@@ -158,37 +194,54 @@ def prepare_binary(r: Relation, r_by: str | Sequence[str], s: Relation,
     r_order, r_app = split_schema(r, r_by, spec, argument=1)
     s_order, s_app = split_schema(s, s_by, spec, argument=2)
     _check_binary_compat(r, r_order, r_app, s, s_order, s_app, spec)
+    use_props = config.use_properties
 
     if not config.optimize_sorting or spec.sort_class is SortClass.FULL:
-        return (_prepare_sorted(r, r_order, r_app, config.validate_keys),
-                _prepare_sorted(s, s_order, s_app, config.validate_keys))
+        return (_prepare_sorted(r, r_order, r_app, config.validate_keys,
+                                use_props),
+                _prepare_sorted(s, s_order, s_app, config.validate_keys,
+                                use_props))
 
     if spec.sort_class is SortClass.EQUIVARIANT:
         # First argument keeps storage order; second must still be sorted
         # (its rows align with the first argument's *columns*).
-        return (_prepare_unsorted(r, r_order, r_app, config.validate_keys),
-                _prepare_sorted(s, s_order, s_app, config.validate_keys))
+        return (_prepare_unsorted(r, r_order, r_app, config.validate_keys,
+                                  use_props),
+                _prepare_sorted(s, s_order, s_app, config.validate_keys,
+                                use_props))
 
     # RELATIVE: align s's rows to r's storage order with one composed
     # permutation; r is never fetchjoined (paper: "only the order part of
     # the second relation requires sorting").
     r_order_bats = r.bats(r_order)
-    r_positions = order_by(r_order_bats)
-    if config.validate_keys:
-        require_key(r_order_bats, r_order, r_positions)
     s_order_bats = s.bats(s_order)
-    s_positions = order_by(s_order_bats)
-    if config.validate_keys:
-        require_key(s_order_bats, s_order, s_positions)
-    aligned = s_positions[rank_of(r_positions)]
+    if use_props:
+        r_info = r.order_info(r_order)
+        s_info = s.order_info(s_order)
+        if config.validate_keys:
+            if not r_info.is_key:
+                raise key_violation(r_order)
+            if not s_info.is_key:
+                raise key_violation(s_order)
+        aligned = s_info.positions[r_info.ranks]
+        s_app_columns = [s.column(n).as_float()[aligned] for n in s_app]
+    else:
+        r_positions = order_by(r_order_bats)
+        if config.validate_keys:
+            require_key(r_order_bats, r_order, r_positions)
+        s_positions = order_by(s_order_bats)
+        if config.validate_keys:
+            require_key(s_order_bats, s_order, s_positions)
+        aligned = s_positions[rank_of(r_positions)]
+        s_app_columns = [s.column(n).fetch(aligned).as_float()
+                         for n in s_app]
     prepared_r = PreparedInput(
         r, r_order, r_app, r_order_bats,
         [r.column(n).as_float() for n in r_app], sorted_storage=False)
     prepared_s = PreparedInput(
         s, s_order, s_app,
-        [bat.fetch(aligned) for bat in s_order_bats],
-        [s.column(n).fetch(aligned).as_float() for n in s_app],
-        sorted_storage=False)
+        [bat.fetch(aligned, positions_key=True) for bat in s_order_bats],
+        s_app_columns, sorted_storage=False)
     return prepared_r, prepared_s
 
 
@@ -238,6 +291,15 @@ def sorted_order_values(prepared: PreparedInput) -> list[str]:
     bat = prepared.order_bats[0]
     if prepared.sorted_storage:
         values = bat.python_values()
+    elif properties_enabled() and bat.tsorted:
+        values = bat.python_values()
+    elif (properties_enabled()
+          and bat is prepared.relation.column(prepared.order_names[0])):
+        # Storage-order column: reuse (and populate) the relation's order
+        # cache instead of argsorting on every call.
+        positions = prepared.relation.order_info(
+            prepared.order_names[:1]).positions
+        values = bat.fetch(positions, positions_key=True).python_values()
     else:
         positions = np.argsort(bat.tail, kind="stable")
         values = bat.fetch(positions).python_values()

@@ -46,15 +46,19 @@ class BackendPolicy:
     def dense_bytes(self, op: str, shape_a: tuple[int, int],
                     shape_b: tuple[int, int] | None = None) -> int:
         """Bytes of contiguous doubles the MKL path would allocate."""
-        total = shape_a[0] * shape_a[1]
+        a_cells = shape_a[0] * shape_a[1]
+        total = a_cells
+        largest = a_cells
         if shape_b is not None:
-            total += shape_b[0] * shape_b[1]
+            b_cells = shape_b[0] * shape_b[1]
+            total += b_cells
+            largest = max(largest, b_cells)
         # Result allocation: bounded by the larger input for every operation
         # except usv, whose full U is nrows x nrows.
         if op == "usv":
             total += shape_a[0] * shape_a[0]
         else:
-            total += total
+            total += largest
         return total * 8
 
     def choose(self, op: str, shape_a: tuple[int, int],
