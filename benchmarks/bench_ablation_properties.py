@@ -15,7 +15,11 @@ Runs in two modes:
 * ``python benchmarks/bench_ablation_properties.py [--quick] [--output f]``
   — self-contained speedup report (acceptance scale: 100k rows), optionally
   written as JSON (``benchmarks/BENCH_properties.json`` is the committed
-  baseline).
+  baseline);
+* ``--chained`` — chained-operation mode: each ``add`` consumes the
+  previous *derived* result, so the win comes from ``merge_result``
+  seeding the result's order cache (ISSUE 2) rather than from the
+  per-relation cache of the base inputs.
 """
 
 import argparse
@@ -23,15 +27,17 @@ import json
 import sys
 import time
 
-import numpy as np
-
-from repro.bat.bat import DataType
 from repro.bat.properties import use_properties
 from repro.core import RmaConfig
 from repro.core.ops import execute_rma
 from repro.data.synthetic import order_heavy_relation, order_names
 from repro.linalg.policy import BackendPolicy
 from repro.relational import rename
+
+try:
+    from benchmarks.bench_util import relations_identical
+except ImportError:  # script mode: benchmarks/ itself is on sys.path
+    from bench_util import relations_identical
 
 N_ROWS = 100_000
 N_ORDER = 4
@@ -69,19 +75,55 @@ def run_scenario(use_props: bool, n_rows: int = N_ROWS,
     return elapsed, result
 
 
-def _identical(a, b) -> bool:
-    if a.names != b.names:
-        return False
-    for name in a.names:
-        ca, cb = a.column(name), b.column(name)
-        if ca.dtype is not cb.dtype:
-            return False
-        if ca.dtype is DataType.DBL:
-            if not np.array_equal(ca.tail, cb.tail, equal_nan=True):
-                return False
-        elif list(ca.tail) != list(cb.tail):
-            return False
-    return True
+def run_chained_scenario(use_props: bool, n_rows: int = N_ROWS,
+                         n_order: int = N_ORDER, repeats: int = REPEATS):
+    """Chained-operation mode: ``add`` results feed the next ``add``.
+
+    Each step's first argument is the previous step's *derived* relation,
+    ordered by its full (grown) order schema.  With the property layer on,
+    ``merge_result`` pre-seeds the derived relation's order cache, so the
+    chained sorts and key validations are free; with it off every step
+    re-sorts the derived rows from scratch."""
+    with use_properties(use_props):
+        r = order_heavy_relation(n_rows, n_order, seed=21)
+        by = order_names(r)
+        config = _config(use_props)
+        extras = [rename(order_heavy_relation(n_rows, n_order,
+                                              seed=30 + i),
+                         {name: f"e{i}_{name}" for name in by})
+                  for i in range(repeats)]
+        result = None
+        start = time.perf_counter()
+        current, current_by = r, list(by)
+        for i, extra in enumerate(extras):
+            extra_by = [f"e{i}_{name}" for name in by]
+            result = execute_rma("add", current, current_by, extra,
+                                 extra_by, config=config)
+            current, current_by = result, current_by + extra_by
+        elapsed = time.perf_counter() - start
+    return elapsed, result
+
+
+def run_chained_ablation(n_rows: int = N_ROWS, n_order: int = N_ORDER,
+                         repeats: int = 4) -> dict:
+    run_chained_scenario(True, max(n_rows // 10, 1_000), n_order, 2)
+    run_chained_scenario(False, max(n_rows // 10, 1_000), n_order, 2)
+    seconds_off, result_off = run_chained_scenario(False, n_rows, n_order,
+                                                   repeats)
+    seconds_on, result_on = run_chained_scenario(True, n_rows, n_order,
+                                                 repeats)
+    return {
+        "scenario": f"{repeats}-step chained add over derived relations, "
+                    f"{n_rows} rows, {n_order} base order attrs, "
+                    "validate_keys=on",
+        "n_rows": n_rows,
+        "n_order": n_order,
+        "repeats": repeats,
+        "seconds_off": seconds_off,
+        "seconds_on": seconds_on,
+        "speedup": seconds_off / max(seconds_on, 1e-12),
+        "identical": relations_identical(result_on, result_off),
+    }
 
 
 def run_ablation(n_rows: int = N_ROWS, n_order: int = N_ORDER,
@@ -101,7 +143,7 @@ def run_ablation(n_rows: int = N_ROWS, n_order: int = N_ORDER,
         "seconds_off": seconds_off,
         "seconds_on": seconds_on,
         "speedup": seconds_off / max(seconds_on, 1e-12),
-        "identical": _identical(result_on, result_off),
+        "identical": relations_identical(result_on, result_off),
     }
 
 
@@ -110,11 +152,16 @@ def main(argv=None) -> int:
         description="Properties/order-cache ablation")
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke scale (20k rows)")
+    parser.add_argument("--chained", action="store_true",
+                        help="chained-operation mode (derived relations)")
     parser.add_argument("--output", default=None,
                         help="write the result as JSON to this file")
     args = parser.parse_args(argv)
     n_rows = 20_000 if args.quick else N_ROWS
-    report = run_ablation(n_rows=n_rows)
+    if args.chained:
+        report = run_chained_ablation(n_rows=n_rows)
+    else:
+        report = run_ablation(n_rows=n_rows)
     print(json.dumps(report, indent=2))
     if not report["identical"]:
         print("FAIL: results differ between use_properties on/off",

@@ -1,0 +1,25 @@
+"""Shared helpers for the ablation benchmark scripts."""
+
+import numpy as np
+
+from repro.bat.bat import DataType
+from repro.relational.relation import Relation
+
+
+def relations_identical(a: Relation, b: Relation) -> bool:
+    """Bit-identity of two relations: names, dtypes and raw tails.
+
+    This is the acceptance check of the ablations — optimizations must
+    change the work performed, never the result (NaNs compare equal)."""
+    if a.names != b.names:
+        return False
+    for name in a.names:
+        ca, cb = a.column(name), b.column(name)
+        if ca.dtype is not cb.dtype:
+            return False
+        if ca.dtype is DataType.DBL:
+            if not np.array_equal(ca.tail, cb.tail, equal_nan=True):
+                return False
+        elif list(ca.tail) != list(cb.tail):
+            return False
+    return True

@@ -10,6 +10,20 @@ Argument conventions are shared:
 
 The remaining attributes form the application schema the matrix kernel is
 applied to; they must be numeric.
+
+These functions execute *eagerly*, one operation at a time.  Pipelines that
+chain several operations (or repeat a subexpression) get plan-level
+optimization — common-subexpression elimination, order-aware join planning
+and warm order caches on derived relations — by building the same calls
+lazily through :mod:`repro.plan.lazy`::
+
+    from repro.plan.lazy import scan
+    beta = (scan(xtx).rma("inv", by="C")
+            .rma("mmu", by="C", other=xty, other_by="C")
+            .collect())
+
+Results are bit-identical between the two styles; the lazy path runs on the
+shared plan executor (:mod:`repro.plan.physical`).
 """
 
 from __future__ import annotations

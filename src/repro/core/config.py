@@ -27,12 +27,19 @@ class RmaConfig:
       The flag gates the engine-level caches; the BAT-layer short-circuits
       are gated by the module switch in :mod:`repro.bat.properties`, which
       ablations toggle alongside this flag.
+    * ``seed_result_orders`` — let ``merge_result`` pre-populate the order
+      cache of result relations (identity for sorted results, the input's
+      cached order for storage-order results), so chained operations over
+      derived relations skip re-sorting.  On by default; the plan-layer
+      ablation (``benchmarks/bench_ablation_plan.py``) disables it for its
+      baseline.
     """
 
     policy: BackendPolicy = field(default_factory=BackendPolicy)
     optimize_sorting: bool = True
     validate_keys: bool = True
     use_properties: bool = True
+    seed_result_orders: bool = True
 
 
 _DEFAULT = RmaConfig()

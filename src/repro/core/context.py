@@ -53,6 +53,7 @@ class PreparedInput:
     order_bats: list[BAT]
     app_columns: Columns
     sorted_storage: bool  # True when rows were physically sorted
+    validated: bool = False  # True when the order schema passed key checks
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -134,7 +135,8 @@ def _prepare_sorted(relation: Relation, order_names: list[str],
     if sorted_order:
         _seed_major_key_sorted(sorted_order[0])
     return PreparedInput(relation, order_names, app_names, sorted_order,
-                         app_columns, sorted_storage=True)
+                         app_columns, sorted_storage=True,
+                         validated=validate)
 
 
 def _seed_major_key_sorted(bat: BAT) -> None:
@@ -161,7 +163,8 @@ def _prepare_unsorted(relation: Relation, order_names: list[str],
             require_key(order_bats, order_names)
     app_columns = [relation.column(n).as_float() for n in app_names]
     return PreparedInput(relation, order_names, app_names, order_bats,
-                         app_columns, sorted_storage=False)
+                         app_columns, sorted_storage=False,
+                         validated=validate)
 
 
 def _needs_key(spec: OpSpec, config: RmaConfig) -> bool:
@@ -237,11 +240,13 @@ def prepare_binary(r: Relation, r_by: str | Sequence[str], s: Relation,
                          for n in s_app]
     prepared_r = PreparedInput(
         r, r_order, r_app, r_order_bats,
-        [r.column(n).as_float() for n in r_app], sorted_storage=False)
+        [r.column(n).as_float() for n in r_app], sorted_storage=False,
+        validated=config.validate_keys)
     prepared_s = PreparedInput(
         s, s_order, s_app,
         [bat.fetch(aligned, positions_key=True) for bat in s_order_bats],
-        s_app_columns, sorted_storage=False)
+        s_app_columns, sorted_storage=False,
+        validated=config.validate_keys)
     return prepared_r, prepared_s
 
 

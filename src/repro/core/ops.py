@@ -13,6 +13,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.bat.bat import BAT, DataType
+from repro.bat.properties import properties_enabled
 from repro.core.config import RmaConfig, default_config
 from repro.core.constructors import gamma, schema_cast
 from repro.core.context import (
@@ -58,7 +59,8 @@ def execute_rma(name: str, r: Relation, by: str | Sequence[str],
         prepared_s = None
         backend = config.policy.choose(name, prepared_r.shape)
         base = backend.compute(name, prepared_r.app_columns)
-    return merge_result(spec, prepared_r, prepared_s, base)
+    return merge_result(spec, prepared_r, prepared_s, base,
+                        seed_orders=config.seed_result_orders)
 
 
 def _same_columns(a: Columns, b: Columns) -> bool:
@@ -66,7 +68,8 @@ def _same_columns(a: Columns, b: Columns) -> bool:
 
 
 def merge_result(spec: OpSpec, r: PreparedInput,
-                 s: PreparedInput | None, base: Columns) -> Relation:
+                 s: PreparedInput | None, base: Columns,
+                 seed_orders: bool = True) -> Relation:
     """Merge step: attach morphed context to the base result (Table 2).
 
     The shape type decides the row context (order parts, a ∆-cast context
@@ -123,4 +126,99 @@ def merge_result(spec: OpSpec, r: PreparedInput,
     names += base_names
     columns += [BAT(DataType.DBL, np.asarray(col, dtype=np.float64))
                 for col in base]
-    return gamma(columns, names)
+    result = gamma(columns, names)
+    if seed_orders:
+        _seed_result_order(result, spec, r, s)
+    return result
+
+
+def _seed_result_order(result: Relation, spec: OpSpec,
+                       r: PreparedInput, s: PreparedInput | None) -> None:
+    """Pre-warm the result's order cache — derived relations start warm.
+
+    The merge step knows exactly how the result rows relate to the order
+    schemas but used to discard that knowledge, so every chained operation
+    re-sorted from scratch (the PR 1 ROADMAP follow-up).  Three cases:
+
+    * rows were physically sorted by the order schema (FULL-sort class):
+      the order is the identity permutation, and a validated order schema
+      is a key — seed both, plus the single-attribute ``tkey`` bit;
+    * rows are in the first input's storage order (equivariant/relative
+      classes): the input's cached :class:`OrderInfo` applies verbatim to
+      the result, so the result *shares* it;
+    * the aligned second argument of an element-wise operation: its rows
+      were permuted into the first input's storage order, and sorting the
+      result by the second order schema is exactly the first input's sort
+      permutation (``aligned = s_pos[r_ranks]`` implies
+      ``aligned[r_pos] = s_pos``).  Seeded only when the second schema is
+      a *known* key — with duplicates the derived permutation is valid but
+      not bit-identical to a fresh stable sort, and bit-identity with the
+      cold path is the contract here.
+    """
+    if not properties_enabled():
+        return
+    x = spec.shape_type[0]
+    if x not in ("r1", "r*"):
+        return
+    n = result.nrows
+    _seed_order_part(result, r, n)
+    if x == "r*" and s is not None:
+        if s.sorted_storage:
+            _seed_order_part(result, s, n)
+        else:
+            _seed_aligned_part(result, r, s)
+        _seed_combined_part(result, r, s, n)
+
+
+def _seed_order_part(result: Relation, prepared: PreparedInput,
+                     n: int) -> None:
+    key = tuple(prepared.order_names)
+    if prepared.sorted_storage:
+        identity = np.arange(n, dtype=np.int64)
+        result.seed_order(key, positions=identity,
+                          is_key=True if prepared.validated else None)
+    else:
+        info = prepared.relation.cached_order_info(key)
+        if info is not None:
+            result.seed_order(key, info=info)
+    if len(key) == 1 and prepared.validated:
+        result.column(key[0])._seed_props(tkey=True)
+
+
+def _seed_combined_part(result: Relation, r: PreparedInput,
+                        s: PreparedInput, n: int) -> None:
+    """Seed the concatenated order schema U ∘ V of element-wise results.
+
+    Chained element-wise operations must order the derived relation by its
+    *whole* order part (U and V together — the schemas must stay disjoint
+    between arguments).  When U is a validated key, a stable lexicographic
+    sort by U ∘ V never reaches the V tie-breakers, so it is bit-identical
+    to the sort by U alone — which is known: identity for sorted storage,
+    the first input's cached permutation otherwise.
+    """
+    if not r.validated:
+        return
+    combined = tuple(r.order_names) + tuple(s.order_names)
+    if r.sorted_storage:
+        result.seed_order(combined,
+                          positions=np.arange(n, dtype=np.int64),
+                          is_key=True)
+        return
+    info = r.relation.cached_order_info(tuple(r.order_names))
+    if info is not None and info.known_positions is not None:
+        result.seed_order(combined, positions=info.known_positions,
+                          is_key=True)
+
+
+def _seed_aligned_part(result: Relation, r: PreparedInput,
+                       s: PreparedInput) -> None:
+    r_info = r.relation.cached_order_info(tuple(r.order_names))
+    s_info = s.relation.cached_order_info(tuple(s.order_names))
+    if r_info is None or s_info is None:
+        return
+    key = tuple(s.order_names)
+    if r_info.known_positions is not None and s_info.known_is_key:
+        result.seed_order(key, positions=r_info.known_positions,
+                          is_key=True)
+    if len(key) == 1 and s.validated:
+        result.column(key[0])._seed_props(tkey=True)

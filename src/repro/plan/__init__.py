@@ -1,0 +1,91 @@
+"""Shared logical/physical plan layer.
+
+The paper's §8.6 edge over R comes from running matrix operations *inside*
+a column store's query pipeline.  This package is that pipeline's plan
+layer, shared by both front ends:
+
+.. code-block:: text
+
+    SQL text ──parse──> AST ──build_select──┐
+                                            ├──> logical plan (plan.nodes)
+    Python  ──repro.plan.lazy (LazyFrame) ──┘          │
+                                                       ▼
+                                         logical optimizer (plan.optimizer)
+                                          pushdown / join rewrite / pruning
+                                                       │
+                                                       ▼
+                                         physical planner (plan.physical)
+                                       order & key metadata propagation,
+                                       merge-vs-hash join choice, shared
+                                       (CSE) subplan detection
+                                                       │
+                                                       ▼
+                                          Executor (plan.physical) over the
+                                          BAT engine -> Relation
+
+Module map
+==========
+
+``nodes``
+    The logical IR: frozen dataclass plan nodes (``Scan``, ``RelScan``,
+    ``Rma``, ``Filter``, ``JoinPlan``, ``Project``, ``Aggregate``, ...)
+    plus expression-analysis helpers.  Node equality is structural, which
+    makes subplan sharing a dictionary lookup.
+
+``optimizer``
+    Semantics-preserving logical rewrites (predicate pushdown,
+    cross-to-inner join conversion, projection pruning) — moved here from
+    ``repro.sql`` so lazy pipelines get the same rewrites as SQL text.
+
+``physical``
+    The physical planner and the executor.  Optimizations that fire here:
+
+    * **CSE** — structurally identical RMA/subquery subtrees execute once
+      per statement; repeated subplans (``CPD(a,a)`` feeding both ``INV``
+      and ``MMU``) hit the memo (``Executor.stats.cse_hits``).
+    * **Join strategy** — equi-joins whose inputs are provably sorted by
+      the join key (cached ``tsorted`` bits / FULL-sort RMA outputs) are
+      marked ``merge`` and run without any argsort via
+      :func:`repro.relational.joins.merge_join_positions`.
+    * **Warm order caches** — ``Frame.to_plain_relation`` passes the
+      original relation object through unmodified views, so the order
+      caches seeded by ``merge_result`` (:mod:`repro.core.ops`) survive
+      from one operation to the next instead of going cold on every
+      derived relation.
+
+``lazy``
+    The Python builder front end: ``scan(rel).rma("mmu", ...).filter(...)
+    .collect()``, with a small ``col``/``lit`` expression DSL.
+
+``explain``
+    Plan pretty-printer used by ``LazyFrame.explain()`` and the SQL
+    ``EXPLAIN`` statement, including the physical annotations.
+
+The SQL package (:mod:`repro.sql`) is now a thin front end: lexer, parser,
+AST, ``build_select`` (AST -> shared plan) and the session; its
+``logical``/``optimizer``/``executor`` modules re-export this package for
+backwards compatibility.
+
+Ablation: ``benchmarks/bench_ablation_plan.py`` measures CSE + warm-order
+propagation on a repeated-subexpression workload (committed baseline in
+``benchmarks/BENCH_plan.json``).
+"""
+
+from repro.plan import nodes
+from repro.plan.explain import explain_lines, format_plan
+from repro.plan.lazy import Col, LazyFrame, col, lit, scan
+from repro.plan.optimizer import Optimizer, optimize
+from repro.plan.physical import (
+    Executor,
+    Frame,
+    PhysicalInfo,
+    plan_physical,
+)
+
+__all__ = [
+    "nodes",
+    "scan", "col", "lit", "Col", "LazyFrame",
+    "optimize", "Optimizer",
+    "Executor", "Frame", "PhysicalInfo", "plan_physical",
+    "format_plan", "explain_lines",
+]

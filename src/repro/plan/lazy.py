@@ -1,0 +1,309 @@
+"""Lazy pipeline builder: the Python front end of the shared plan layer.
+
+Where :mod:`repro.core.algebra` executes each relational matrix operation
+eagerly, this module builds a *plan* first and executes it on
+:class:`repro.plan.physical.Executor` — the same engine the SQL session
+uses — so whole pipelines get plan-level optimization: common RMA subplans
+run once, order metadata flows into join-strategy choice, and derived
+relations arrive with warm order caches.
+
+>>> from repro.plan.lazy import scan, col
+>>> pipe = (scan(rating, name="r")
+...         .rma("tra", by="User")
+...         .filter(col("Ann") > 0.5))
+>>> result = pipe.collect()
+>>> print(pipe.explain())
+
+Binary operations take a second frame (or a bare relation):
+
+>>> xtx = scan(a).rma("cpd", by="id", other=scan(a), other_by="id")
+>>> beta = (xtx.rma("inv", by="C")
+...         .rma("mmu", by="C", other=xty, other_by="C"))
+
+``collect()`` is bit-identical to chaining the eager functions — the plan
+executor calls the same ``execute_rma`` pipeline underneath (the test suite
+asserts this for every Table 2 operation and the paper's workloads).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.bat.catalog import Catalog
+from repro.core.config import RmaConfig
+from repro.errors import PlanError
+from repro.opspec import spec_of
+from repro.plan import nodes
+from repro.plan.explain import format_plan
+from repro.plan.optimizer import optimize as optimize_plan
+from repro.plan.physical import Executor, PhysicalInfo, plan_physical
+from repro.relational.relation import Relation
+from repro.sql import ast
+
+def _default_alias(relation: Relation) -> str:
+    """A stable alias per relation *object*.
+
+    Two ``scan(r)`` calls over the same relation build equal ``RelScan``
+    nodes, so repeated subplans stay recognizable for CSE.  The id cannot
+    collide between two live relations, and node equality compares the
+    relation itself as well, so a recycled id is harmless.
+    """
+    return f"_rel{id(relation):x}"
+
+
+# -- expression DSL ------------------------------------------------------------
+
+class Col:
+    """A small expression wrapper so predicates read like Python.
+
+    ``col("YoB") > 1966`` builds the same :mod:`repro.sql.ast` expression
+    the SQL parser would for ``YoB > 1966``.  Comparison operators return
+    new :class:`Col` objects (not booleans), so these wrappers must not be
+    used as dict keys or in sets.
+    """
+
+    def __init__(self, expr: ast.Expr, alias: str | None = None):
+        self.expr = expr
+        self.out_name = alias
+
+    def alias(self, name: str) -> "Col":
+        """Name this expression in a ``select``."""
+        return Col(self.expr, name)
+
+    # comparisons -----------------------------------------------------------
+    def _binary(self, op: str, other: Any) -> "Col":
+        return Col(ast.BinaryOp(op, self.expr, as_expr(other)))
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._binary("=", other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._binary("<>", other)
+
+    def __lt__(self, other):
+        return self._binary("<", other)
+
+    def __le__(self, other):
+        return self._binary("<=", other)
+
+    def __gt__(self, other):
+        return self._binary(">", other)
+
+    def __ge__(self, other):
+        return self._binary(">=", other)
+
+    __hash__ = None  # comparisons build expressions, not truth values
+
+    # arithmetic ------------------------------------------------------------
+    def __add__(self, other):
+        return self._binary("+", other)
+
+    def __radd__(self, other):
+        return Col(ast.BinaryOp("+", as_expr(other), self.expr))
+
+    def __sub__(self, other):
+        return self._binary("-", other)
+
+    def __rsub__(self, other):
+        return Col(ast.BinaryOp("-", as_expr(other), self.expr))
+
+    def __mul__(self, other):
+        return self._binary("*", other)
+
+    def __rmul__(self, other):
+        return Col(ast.BinaryOp("*", as_expr(other), self.expr))
+
+    def __truediv__(self, other):
+        return self._binary("/", other)
+
+    def __mod__(self, other):
+        return self._binary("%", other)
+
+    def __neg__(self):
+        return Col(ast.UnaryOp("-", self.expr))
+
+    # boolean connectives ----------------------------------------------------
+    def __and__(self, other):
+        return self._binary("AND", other)
+
+    def __or__(self, other):
+        return self._binary("OR", other)
+
+    def __invert__(self):
+        return Col(ast.UnaryOp("NOT", self.expr))
+
+    # predicates -------------------------------------------------------------
+    def is_null(self) -> "Col":
+        return Col(ast.IsNull(self.expr))
+
+    def is_not_null(self) -> "Col":
+        return Col(ast.IsNull(self.expr, negated=True))
+
+    def isin(self, *values: Any) -> "Col":
+        return Col(ast.InList(self.expr,
+                              tuple(as_expr(v) for v in values)))
+
+    def between(self, low: Any, high: Any) -> "Col":
+        return Col(ast.Between(self.expr, as_expr(low), as_expr(high)))
+
+    def like(self, pattern: str) -> "Col":
+        return Col(ast.BinaryOp("LIKE", self.expr, ast.Literal(pattern)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Col({self.expr.to_sql()})"
+
+
+def col(name: str, table: str | None = None) -> Col:
+    """Reference a column, optionally qualified by a scan alias."""
+    return Col(ast.ColumnRef(name, table))
+
+
+def lit(value: Any) -> Col:
+    """A literal value as an expression."""
+    return Col(ast.Literal(value))
+
+
+def as_expr(value: Any) -> ast.Expr:
+    """Coerce a Col / ast.Expr / python scalar into an AST expression."""
+    if isinstance(value, Col):
+        return value.expr
+    if isinstance(value, ast.Expr):
+        return value
+    return ast.Literal(value)
+
+
+def _as_by(by: str | Sequence[str] | None, op: str) -> tuple[str, ...]:
+    if by is None:
+        raise PlanError(f"{op}: an order schema (by=...) is required")
+    if isinstance(by, str):
+        return (by,)
+    names = tuple(by)
+    if not names:
+        raise PlanError(f"{op}: order schema must not be empty")
+    return names
+
+
+# -- the lazy frame -------------------------------------------------------------
+
+class LazyFrame:
+    """An unevaluated pipeline over relations.
+
+    Frames are immutable: every method returns a new frame wrapping a new
+    plan node.  Reusing a frame in two places of one pipeline produces
+    *equal* subplans, which the executor recognizes and runs once (CSE).
+    """
+
+    def __init__(self, plan: nodes.Plan):
+        self._plan = plan
+
+    @property
+    def plan(self) -> nodes.Plan:
+        """The logical plan built so far (un-optimized)."""
+        return self._plan
+
+    # -- relational operators -------------------------------------------------
+
+    def filter(self, predicate: Col | ast.Expr) -> "LazyFrame":
+        return LazyFrame(nodes.Filter(self._plan, as_expr(predicate)))
+
+    def select(self, *items: str | Col | ast.Expr) -> "LazyFrame":
+        """Project expressions; strings select columns by name."""
+        select_items = []
+        for item in items:
+            if isinstance(item, str):
+                select_items.append(
+                    ast.SelectItem(ast.ColumnRef(item), None))
+            elif isinstance(item, Col):
+                select_items.append(ast.SelectItem(item.expr,
+                                                   item.out_name))
+            else:
+                select_items.append(ast.SelectItem(item, None))
+        return LazyFrame(nodes.Project(self._plan, tuple(select_items)))
+
+    def join(self, other: "LazyFrame | Relation",
+             on: Col | ast.Expr, how: str = "inner") -> "LazyFrame":
+        """Join on an expression; qualify refs with the scan aliases."""
+        other_plan = _as_plan(other)
+        return LazyFrame(nodes.JoinPlan(how, self._plan, other_plan,
+                                        as_expr(on)))
+
+    def sort(self, *names: str, descending: bool = False) -> "LazyFrame":
+        items = tuple(ast.OrderItem(ast.ColumnRef(n), descending)
+                      for n in names)
+        return LazyFrame(nodes.Sort(self._plan, items))
+
+    def limit(self, count: int, offset: int = 0) -> "LazyFrame":
+        return LazyFrame(nodes.Limit(self._plan, count, offset))
+
+    def distinct(self) -> "LazyFrame":
+        return LazyFrame(nodes.Distinct(self._plan))
+
+    # -- relational matrix operations ------------------------------------------
+
+    def rma(self, op: str, by: str | Sequence[str],
+            other: "LazyFrame | Relation | None" = None,
+            other_by: str | Sequence[str] | None = None,
+            alias: str | None = None) -> "LazyFrame":
+        """Apply a Table 2 operation lazily.
+
+        ``by`` (and ``other_by`` for binary operations) are order schemas,
+        exactly as in :mod:`repro.core.algebra`.
+        """
+        name = op.lower()
+        spec = spec_of(name)
+        inputs: list[nodes.Plan] = [self._plan]
+        bys: list[tuple[str, ...]] = [_as_by(by, name)]
+        if spec.arity == 2:
+            if other is None:
+                raise PlanError(
+                    f"{name} is binary: supply other and other_by")
+            inputs.append(_as_plan(other))
+            bys.append(_as_by(other_by, name))
+        elif other is not None or other_by is not None:
+            raise PlanError(
+                f"{name} is unary: other/other_by are not accepted")
+        return LazyFrame(nodes.Rma(name, tuple(inputs), tuple(bys), alias))
+
+    # -- execution -------------------------------------------------------------
+
+    def _planned(self, optimize: bool) \
+            -> tuple[nodes.Plan, PhysicalInfo, Catalog]:
+        catalog = Catalog()
+        plan = self._plan
+        if optimize:
+            plan = optimize_plan(plan, catalog, keep_all=True)
+        info = plan_physical(plan, catalog)
+        return plan, info, catalog
+
+    def collect(self, config: RmaConfig | None = None,
+                optimize: bool = True, cse: bool = True) -> Relation:
+        """Optimize, physically plan and execute; returns the relation."""
+        plan, info, catalog = self._planned(optimize)
+        executor = Executor(catalog, config, physical=info, cse=cse)
+        return executor.run(plan).to_plain_relation()
+
+    def explain(self, optimize: bool = True) -> str:
+        """The optimized plan with physical annotations, as text."""
+        plan, info, _ = self._planned(optimize)
+        return format_plan(plan, info)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LazyFrame({type(self._plan).__name__})"
+
+
+def _as_plan(source: "LazyFrame | Relation") -> nodes.Plan:
+    if isinstance(source, LazyFrame):
+        return source._plan
+    if isinstance(source, Relation):
+        return nodes.RelScan(source, _default_alias(source))
+    raise PlanError(
+        f"expected a LazyFrame or Relation, got {type(source).__name__}")
+
+
+def scan(relation: Relation, name: str | None = None) -> LazyFrame:
+    """Start a pipeline from an in-memory relation."""
+    if not isinstance(relation, Relation):
+        raise PlanError(
+            f"scan expects a Relation, got {type(relation).__name__}")
+    return LazyFrame(nodes.RelScan(relation,
+                                   name or _default_alias(relation)))

@@ -1,0 +1,1000 @@
+"""Physical planning and execution of shared logical plans.
+
+Two layers live here:
+
+* :func:`plan_physical` — the physical planner.  It walks an (optimized)
+  logical plan and derives *physical* information the executor exploits:
+
+  - **order/key metadata**: which column prefix each node's output is
+    sorted by, propagated through order-preserving operators (filters,
+    limits, joins on their left side, projections of passthrough columns)
+    and *established* by FULL-sort RMA nodes and ORDER BY;
+  - **join strategy**: equi-joins whose two inputs are already sorted by
+    the join key are marked ``merge`` and run without any argsort
+    (:func:`repro.relational.joins.merge_join_positions`); everything else
+    stays on the factorize-and-probe hash path;
+  - **shared subplans** (CSE): structurally identical RMA/subquery
+    subtrees are counted; the executor memoizes their result relations so
+    a repeated subplan executes once per statement.
+
+* :class:`Executor` — evaluates logical plans against a catalog, one
+  method per node type, producing :class:`Frame` objects (a relation plus
+  name-resolution bindings).  Both front ends run through it: the SQL
+  session compiles AST -> plan and the lazy builder
+  (:mod:`repro.plan.lazy`) constructs plans directly.
+
+Because relations are immutable, the memoized CSE results share their
+per-relation order caches across uses, and ``Frame.to_plain_relation``
+returns the *original* relation object whenever the frame is an unmodified
+view of it — derived relations produced by ``merge_result`` therefore keep
+their seeded order caches all the way to the user (or the next operation).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.bat.bat import BAT, DataType
+from repro.bat.catalog import Catalog
+from repro.bat import kernels
+from repro.bat.properties import properties_enabled
+from repro.core.config import RmaConfig, default_config
+from repro.core.algebra import rma_operation
+from repro.errors import BindError, CatalogError, PlanError
+from repro.opspec import OPS, SortClass
+import repro.relational.aggregate as rel_aggregate
+import repro.relational.joins as rel_join
+import repro.relational.ops as rel_ops
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.plan import nodes
+from repro.plan.optimizer import Optimizer, ref_matches
+from repro.sql import ast
+from repro.sql.functions import SCALAR_FUNCTIONS
+
+
+@dataclass(frozen=True)
+class Binding:
+    """Maps a user-visible (alias, column) pair to an internal column.
+
+    ``hidden`` bindings are resolvable (so ORDER BY can reference source
+    columns after projection) but are not part of the visible output.
+    """
+
+    alias: Optional[str]
+    name: str
+    internal: str
+    hidden: bool = False
+
+
+class Frame:
+    """A relation with name bindings for expression resolution.
+
+    Internal column names are globally unique within the frame so joins can
+    concatenate schemas without clashes while user-visible names stay
+    resolvable (qualified or unqualified).
+    """
+
+    _counter = 0
+
+    def __init__(self, relation: Relation, bindings: list[Binding],
+                 source: Relation | None = None):
+        self.relation = relation
+        self.bindings = bindings
+        self.source = source
+
+    @classmethod
+    def _fresh(cls, hint: str) -> str:
+        cls._counter += 1
+        return f"{hint}#{cls._counter}"
+
+    @classmethod
+    def from_relation(cls, relation: Relation,
+                      alias: Optional[str]) -> "Frame":
+        bindings = []
+        internal_names = []
+        for name in relation.names:
+            internal = cls._fresh(name)
+            bindings.append(Binding(alias, name, internal))
+            internal_names.append(internal)
+        schema = Schema(Attribute(internal, relation.schema.dtype(name))
+                        for internal, name in zip(internal_names,
+                                                  relation.names))
+        return cls(Relation(schema, relation.columns), bindings,
+                   source=relation)
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolve(self, ref: ast.ColumnRef) -> str:
+        def lookup(candidates: list[Binding]) -> list[Binding]:
+            return [b for b in candidates
+                    if b.name == ref.name
+                    and (ref.table is None or b.alias == ref.table)]
+
+        matches = lookup(self.visible_bindings())
+        if not matches:
+            matches = lookup([b for b in self.bindings if b.hidden])
+        if not matches:
+            known = sorted({b.name for b in self.bindings})
+            raise BindError(
+                f"unknown column {ref.to_sql()!r}; available: "
+                f"{', '.join(known)}")
+        if len(matches) > 1 and ref.table is None:
+            aliases = sorted({str(b.alias) for b in matches})
+            raise BindError(
+                f"ambiguous column {ref.name!r} (in {', '.join(aliases)}); "
+                "qualify it")
+        return matches[0].internal
+
+    def column(self, ref: ast.ColumnRef) -> BAT:
+        return self.relation.column(self.resolve(ref))
+
+    def visible_bindings(self) -> list[Binding]:
+        return [b for b in self.bindings if not b.hidden]
+
+    def star_bindings(self, table: Optional[str]) -> list[Binding]:
+        if table is None:
+            return self.visible_bindings()
+        matches = [b for b in self.visible_bindings() if b.alias == table]
+        if not matches:
+            raise BindError(f"unknown table alias {table!r} in star")
+        return matches
+
+    def to_plain_relation(self) -> Relation:
+        """Expose user-visible names (for RMA inputs and final output).
+
+        When the frame is an unmodified view of its source relation the
+        source object itself is returned, preserving its (possibly warm)
+        order cache — the plan layer's cross-operation cache reuse depends
+        on this passthrough.
+        """
+        visible = self.visible_bindings()
+        if (self.source is not None
+                and len(visible) == len(self.source.columns)
+                and all(b.name == n
+                        for b, n in zip(visible, self.source.names))
+                and all(self.relation.column(b.internal) is col
+                        for b, col in zip(visible, self.source.columns))):
+            return self.source
+        names = [b.name for b in visible]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise BindError(
+                f"duplicate output columns {duplicates}; add aliases")
+        schema = Schema(Attribute(b.name,
+                                  self.relation.schema.dtype(b.internal))
+                        for b in visible)
+        columns = [self.relation.column(b.internal) for b in visible]
+        return Relation(schema, columns)
+
+    def select_positions(self, positions: np.ndarray) -> "Frame":
+        relation = Relation(
+            self.relation.schema,
+            [col.fetch(positions) for col in self.relation.columns])
+        return Frame(relation, self.bindings)
+
+
+# -- expression evaluation -------------------------------------------------------
+
+_LIKE_CACHE: dict[str, re.Pattern] = {}
+
+
+def _like_pattern(pattern: str) -> re.Pattern:
+    if pattern not in _LIKE_CACHE:
+        regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+        _LIKE_CACHE[pattern] = re.compile(f"^{regex}$", re.IGNORECASE)
+    return _LIKE_CACHE[pattern]
+
+
+def _as_mask(value: Any, n: int) -> np.ndarray:
+    if isinstance(value, BAT):
+        if value.dtype is not DataType.BOOL:
+            raise PlanError("predicate did not evaluate to a boolean")
+        return value.tail.astype(bool)
+    if isinstance(value, (bool, np.bool_)):
+        return np.full(n, bool(value))
+    raise PlanError(f"predicate evaluated to {type(value).__name__}")
+
+
+def _broadcast(value: Any, n: int) -> BAT:
+    if isinstance(value, BAT):
+        return value
+    return BAT.constant(value, n)
+
+
+class ExpressionEvaluator:
+    """Vectorized evaluation of AST expressions over a frame."""
+
+    def __init__(self, frame: Frame):
+        self.frame = frame
+        self.n = frame.relation.nrows
+
+    def eval(self, expr: ast.Expr) -> Any:
+        """Returns a BAT (column result) or a python scalar."""
+        method = getattr(self, f"_eval_{type(expr).__name__.lower()}", None)
+        if method is None:
+            raise PlanError(f"cannot evaluate expression {expr!r}")
+        return method(expr)
+
+    def mask(self, expr: ast.Expr) -> np.ndarray:
+        return _as_mask(self.eval(expr), self.n)
+
+    # -- node handlers ----------------------------------------------------------
+
+    def _eval_literal(self, expr: ast.Literal) -> Any:
+        return expr.value
+
+    def _eval_columnref(self, expr: ast.ColumnRef) -> BAT:
+        return self.frame.column(expr)
+
+    def _eval_unaryop(self, expr: ast.UnaryOp) -> Any:
+        value = self.eval(expr.operand)
+        if expr.op == "NOT":
+            mask = _as_mask(value, self.n)
+            return BAT(DataType.BOOL, ~mask)
+        if expr.op == "-":
+            if isinstance(value, BAT):
+                return kernels.neg(value)
+            return -value
+        return value
+
+    def _eval_binaryop(self, expr: ast.BinaryOp) -> Any:
+        op = expr.op
+        if op in ("AND", "OR"):
+            left = _as_mask(self.eval(expr.left), self.n)
+            right = _as_mask(self.eval(expr.right), self.n)
+            out = left & right if op == "AND" else left | right
+            return BAT(DataType.BOOL, out)
+        if op in ("LIKE", "NOT LIKE"):
+            return self._eval_like(expr)
+        left = self.eval(expr.left)
+        right = self.eval(expr.right)
+        if op in ("+", "-", "*", "/", "%"):
+            if isinstance(left, BAT):
+                return kernels.binop(op, left, right)
+            if isinstance(right, BAT):
+                return kernels.rbinop(op, left, right)
+            if op == "/":
+                return left / right
+            if op == "%":
+                return left % right
+            return {"+": left + right, "-": left - right,
+                    "*": left * right}[op]
+        if op == "||":
+            return self._concat(left, right)
+        # comparisons
+        if isinstance(left, BAT):
+            mask = kernels.compare(op, left, right)
+        elif isinstance(right, BAT):
+            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+            mask = kernels.compare(flipped, right, left)
+        else:
+            func = {"=": lambda a, b: a == b, "<>": lambda a, b: a != b,
+                    "!=": lambda a, b: a != b, "<": lambda a, b: a < b,
+                    "<=": lambda a, b: a <= b, ">": lambda a, b: a > b,
+                    ">=": lambda a, b: a >= b}[op]
+            return func(left, right)
+        return BAT(DataType.BOOL, mask)
+
+    def _concat(self, left: Any, right: Any) -> Any:
+        if not isinstance(left, BAT) and not isinstance(right, BAT):
+            return str(left) + str(right)
+        left_bat = _broadcast(left, self.n).cast(DataType.STR)
+        right_bat = _broadcast(right, self.n).cast(DataType.STR)
+        values = np.array(
+            [None if a is None or b is None else a + b
+             for a, b in zip(left_bat.tail, right_bat.tail)], dtype=object)
+        return BAT(DataType.STR, values)
+
+    def _eval_like(self, expr: ast.BinaryOp) -> BAT:
+        value = self.eval(expr.left)
+        pattern = self.eval(expr.right)
+        if isinstance(pattern, BAT):
+            raise PlanError("LIKE pattern must be a constant")
+        regex = _like_pattern(str(pattern))
+        bat = _broadcast(value, self.n).cast(DataType.STR)
+        mask = np.array([v is not None and bool(regex.match(v))
+                         for v in bat.tail], dtype=bool)
+        if expr.op == "NOT LIKE":
+            mask = ~mask
+        return BAT(DataType.BOOL, mask)
+
+    def _eval_isnull(self, expr: ast.IsNull) -> BAT:
+        value = self.eval(expr.operand)
+        if isinstance(value, BAT):
+            mask = value.is_nil()
+        else:
+            mask = np.full(self.n, value is None)
+        if expr.negated:
+            mask = ~mask
+        return BAT(DataType.BOOL, mask)
+
+    def _eval_between(self, expr: ast.Between) -> BAT:
+        rewritten = ast.BinaryOp(
+            "AND",
+            ast.BinaryOp(">=", expr.operand, expr.low),
+            ast.BinaryOp("<=", expr.operand, expr.high))
+        mask = _as_mask(self.eval(rewritten), self.n)
+        if expr.negated:
+            mask = ~mask
+        return BAT(DataType.BOOL, mask)
+
+    def _eval_inlist(self, expr: ast.InList) -> BAT:
+        mask = np.zeros(self.n, dtype=bool)
+        operand = self.eval(expr.operand)
+        for item in expr.items:
+            value = self.eval(item)
+            if isinstance(operand, BAT):
+                mask |= kernels.compare("=", operand, value)
+            else:
+                mask |= np.full(self.n, operand == value)
+        if expr.negated:
+            mask = ~mask
+        return BAT(DataType.BOOL, mask)
+
+    def _eval_casewhen(self, expr: ast.CaseWhen) -> Any:
+        conditions = [_as_mask(self.eval(c), self.n)
+                      for c, _ in expr.branches]
+        values = [self.eval(v) for _, v in expr.branches]
+        otherwise = (self.eval(expr.otherwise)
+                     if expr.otherwise is not None else None)
+        # Pick a result type from the first columnar/non-null value.
+        prototype = next((v for v in values + [otherwise]
+                          if isinstance(v, BAT)), None)
+        if prototype is not None:
+            dtype = prototype.dtype
+        else:
+            from repro.bat.bat import infer_type
+            scalars = [v for v in values + [otherwise] if v is not None]
+            dtype = infer_type(scalars)
+        result = (_broadcast(otherwise, self.n) if otherwise is not None
+                  else BAT.constant(None, self.n, dtype))
+        # Apply branches from last to first so the first match wins.
+        for mask, value in reversed(list(zip(conditions, values))):
+            value_bat = (_broadcast(value, self.n) if value is not None
+                         else BAT.constant(None, self.n, dtype))
+            result = kernels.ifthenelse(mask, value_bat, result)
+        return result
+
+    def _eval_functioncall(self, expr: ast.FunctionCall) -> Any:
+        if expr.name in nodes.AGGREGATE_FUNCTIONS:
+            raise PlanError(
+                f"aggregate {expr.name} used outside of SELECT/HAVING "
+                "with GROUP BY")
+        func = SCALAR_FUNCTIONS.get(expr.name)
+        if func is None:
+            raise BindError(f"unknown function {expr.name}")
+        args = [self.eval(a) for a in expr.args]
+        return func(self, args)
+
+    def _eval_star(self, expr: ast.Star) -> Any:
+        raise PlanError("'*' is only valid in SELECT lists and COUNT(*)")
+
+
+# -- physical planning ---------------------------------------------------------
+
+@dataclass
+class PhysicalInfo:
+    """Physical annotations the planner derives for an optimized plan.
+
+    All dicts are keyed by plan nodes; structurally identical subtrees
+    collapse onto one entry (node equality is structural), which is exactly
+    the sharing CSE needs.
+
+    ``keys`` records *declared* key contracts: every r1/r* RMA requires its
+    order schema to be a key (the paper's precondition), but the check runs
+    only when ``RmaConfig.validate_keys`` is on — like MonetDB trusting
+    declared constraints.  Consumers needing a *verified* key must check
+    the relation (``OrderInfo.is_key``) at run time.
+    """
+
+    join_strategy: dict[nodes.JoinPlan, str] = field(default_factory=dict)
+    ordering: dict[nodes.Plan, tuple[str, ...]] = field(default_factory=dict)
+    keys: dict[nodes.Plan, tuple[str, ...]] = field(default_factory=dict)
+    shared: dict[nodes.Plan, int] = field(default_factory=dict)
+
+
+def plan_physical(plan: nodes.Plan, catalog: Catalog) -> PhysicalInfo:
+    """Derive physical annotations (order metadata, join strategies, CSE)."""
+    return _PhysicalPlanner(catalog).annotate(plan)
+
+
+class _PhysicalPlanner:
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self.info = PhysicalInfo()
+        self._optimizer = Optimizer(catalog)  # for schema inference
+        self._names: dict[nodes.Plan, Optional[set[tuple]]] = {}
+
+    def annotate(self, plan: nodes.Plan) -> PhysicalInfo:
+        self._order_of(plan)
+        # Walk by reference, not structure: each *occurrence* of a node is
+        # counted (that is what CSE sharing means), but an object reused in
+        # several places — lazy pipelines share subplan objects — has its
+        # subtree descended only once, keeping the walk linear even for
+        # deeply diamond-shaped plans.
+        visited: set[int] = set()
+        stack = [plan]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, nodes.JoinPlan):
+                self.info.join_strategy.setdefault(
+                    node, self._choose_strategy(node))
+            if isinstance(node, (nodes.Rma, nodes.SubqueryScan)):
+                key = _cse_key(node)
+                self.info.shared[key] = self.info.shared.get(key, 0) + 1
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.extend(node.children())
+        self.info.shared = {k: c for k, c in self.info.shared.items()
+                            if c > 1}
+        return self.info
+
+    # -- order/key metadata ---------------------------------------------------
+
+    def _order_of(self, plan: nodes.Plan) -> tuple[str, ...]:
+        cached = self.info.ordering.get(plan)
+        if cached is not None:
+            return cached
+        ordering = self._compute_order(plan)
+        self.info.ordering[plan] = ordering
+        return ordering
+
+    def _compute_order(self, plan: nodes.Plan) -> tuple[str, ...]:
+        if isinstance(plan, (nodes.Scan, nodes.RelScan)):
+            relation = self._leaf_relation(plan)
+            if relation is None or not properties_enabled():
+                return ()
+            for name in relation.names:
+                if relation.column(name).cached_prop("tsorted"):
+                    return (name,)
+            return ()
+        if isinstance(plan, nodes.SubqueryScan):
+            return self._order_of(plan.plan)
+        if isinstance(plan, (nodes.Filter, nodes.Limit)):
+            return self._order_of(plan.children()[0])
+        if isinstance(plan, nodes.Prune):
+            child = self._order_of(plan.child)
+            kept = set(plan.names)
+            prefix = []
+            for name in child:
+                if name not in kept:
+                    break
+                prefix.append(name)
+            return tuple(prefix)
+        if isinstance(plan, nodes.Sort):
+            prefix = []
+            for item in plan.items:
+                if item.descending or not isinstance(item.expr,
+                                                     ast.ColumnRef):
+                    break
+                prefix.append(item.expr.name)
+            return tuple(prefix)
+        if isinstance(plan, nodes.JoinPlan):
+            # Both join paths emit left positions non-decreasing, so the
+            # left input's order survives; the right side's does not.
+            self._order_of(plan.right)
+            return self._order_of(plan.left)
+        if isinstance(plan, nodes.Project):
+            child = self._order_of(plan.child)
+            # Child orderings carry unqualified names, so a qualified
+            # passthrough ref (b.x) is only a safe mapping when the child
+            # has a single source — above a join, b.x may name the
+            # *right* side's column while the ordering belongs to the left.
+            qualified_ok = not _contains_join(plan.child)
+            out_names = {}
+            for index, item in enumerate(plan.items):
+                if isinstance(item.expr, ast.ColumnRef) and (
+                        item.expr.table is None or qualified_ok):
+                    out = item.alias or nodes.default_output_name(
+                        item.expr, index)
+                    out_names.setdefault(item.expr.name, out)
+            prefix = []
+            for name in child:
+                if name not in out_names:
+                    break
+                prefix.append(out_names[name])
+            return tuple(prefix)
+        if isinstance(plan, nodes.Rma):
+            for child in plan.children():
+                self._order_of(child)
+            spec = OPS[plan.op]
+            x, _ = spec.shape_type
+            if x == "r1" and spec.sort_class is SortClass.FULL:
+                # FULL-sort operations physically order their result rows
+                # by the order schema (the warm-cache seed in merge_result
+                # records the same fact at run time).
+                self.info.keys.setdefault(plan, tuple(plan.by[0]))
+                return tuple(plan.by[0])
+            if x in ("r1", "r*"):
+                self.info.keys.setdefault(plan, tuple(plan.by[0]))
+                # Storage order of the first input is preserved; keep the
+                # prefix of its ordering that survives into the output.
+                child = self._order_of(plan.inputs[0])
+                visible = set(plan.by[0])
+                if x == "r*":
+                    visible |= set(plan.by[1])
+                prefix = []
+                for name in child:
+                    if name not in visible:
+                        break
+                    prefix.append(name)
+                return tuple(prefix)
+            return ()
+        if isinstance(plan, nodes.Aggregate):
+            self._order_of(plan.child)
+            self.info.keys.setdefault(plan, tuple(plan.key_names))
+            return ()
+        for child in plan.children():
+            self._order_of(child)
+        return ()
+
+    def _leaf_relation(self, plan: nodes.Plan) -> Relation | None:
+        if isinstance(plan, nodes.RelScan):
+            return plan.relation
+        if isinstance(plan, nodes.Scan):
+            try:
+                return self.catalog.get(plan.table)
+            except CatalogError:
+                return None
+        return None
+
+    # -- join strategy --------------------------------------------------------
+
+    def _output_names(self, plan: nodes.Plan) -> Optional[set[tuple]]:
+        if plan not in self._names:
+            self._names[plan] = self._optimizer.output_names(plan)
+        return self._names[plan]
+
+    def _choose_strategy(self, plan: nodes.JoinPlan) -> str:
+        if plan.condition is None or plan.kind == "cross":
+            return "hash"
+        equi: list[tuple[str, str]] = []
+        matches = ref_matches
+        left_names = self._output_names(plan.left)
+        right_names = self._output_names(plan.right)
+        if left_names is None or right_names is None:
+            return "hash"
+        for conjunct in nodes.split_conjuncts(plan.condition):
+            if not (isinstance(conjunct, ast.BinaryOp)
+                    and conjunct.op == "="):
+                continue
+            if not (isinstance(conjunct.left, ast.ColumnRef)
+                    and isinstance(conjunct.right, ast.ColumnRef)):
+                return "hash"
+            lref, rref = conjunct.left, conjunct.right
+            if (matches(lref, left_names)
+                    and matches(rref, right_names)):
+                equi.append((lref.name, rref.name))
+            elif (matches(rref, left_names)
+                    and matches(lref, right_names)):
+                equi.append((rref.name, lref.name))
+            else:
+                return "hash"
+        if len(equi) != 1:
+            return "hash"  # multi-key merge is not implemented
+        lname, rname = equi[0]
+        # The runtime merge path requires same-dtype raw-comparable keys
+        # (STR excluded); only predict merge when the leaf column dtypes
+        # prove eligibility, so EXPLAIN never claims a strategy the
+        # executor would reject.
+        ldtype = self._side_key_dtype(plan.left, lname)
+        rdtype = self._side_key_dtype(plan.right, rname)
+        if (ldtype is None or ldtype is not rdtype
+                or ldtype not in rel_join.MERGE_TYPES):
+            return "hash"
+        if (self._side_sorted_by(plan.left, lname)
+                and self._side_sorted_by(plan.right, rname)):
+            return "merge"
+        return "hash"
+
+    def _side_key_dtype(self, plan: nodes.Plan, name: str):
+        node = plan
+        while isinstance(node, (nodes.Filter, nodes.Prune)):
+            if isinstance(node, nodes.Prune) and name not in node.names:
+                return None
+            node = node.children()[0]
+        relation = self._leaf_relation(node)
+        if relation is None or name not in relation.schema:
+            return None
+        return relation.schema.dtype(name)
+
+    def _side_sorted_by(self, plan: nodes.Plan, name: str) -> bool:
+        ordering = self._order_of(plan)
+        if ordering[:1] == (name,):
+            return True
+        # Fall back to the base scan's column: for join keys (only), the
+        # O(n) sortedness check is worth forcing — it can save the argsort.
+        if not properties_enabled():
+            return False
+        node = plan
+        while isinstance(node, (nodes.Filter, nodes.Prune)):
+            if isinstance(node, nodes.Prune) and name not in node.names:
+                return False
+            node = node.children()[0]
+        relation = self._leaf_relation(node)
+        if relation is None or name not in relation.schema:
+            return False
+        return relation.column(name).tsorted
+
+
+def _contains_join(plan: nodes.Plan) -> bool:
+    """Whether any JoinPlan occurs in the subtree (id-deduplicated walk,
+    DAG-safe; descends into subqueries — their aliases rebind names but a
+    join anywhere below still makes qualified-name mapping ambiguous)."""
+    stack, seen = [plan], set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if isinstance(node, nodes.JoinPlan):
+            return True
+        stack.extend(node.children())
+    return False
+
+
+def _cse_key(plan: nodes.Plan) -> nodes.Plan:
+    """Normalize a shareable node for memoization (strip the top alias)."""
+    if isinstance(plan, nodes.Rma):
+        return nodes.Rma(plan.op, plan.inputs, plan.by, None)
+    if isinstance(plan, nodes.SubqueryScan):
+        return plan.plan
+    return plan
+
+
+# -- plan execution -----------------------------------------------------------------
+
+@dataclass
+class ExecStats:
+    """Counters the tests and EXPLAIN ANALYZE-style tooling read."""
+
+    cse_hits: int = 0
+
+
+class Executor:
+    """Evaluates logical plans against a catalog.
+
+    ``physical`` carries the planner's annotations (join strategies); when
+    omitted every join uses the hash path.  ``cse`` toggles memoization of
+    repeated RMA/subquery subplans (on by default; the plan-layer ablation
+    benchmark turns it off for its baseline).
+    """
+
+    def __init__(self, catalog: Catalog, config: RmaConfig | None = None,
+                 physical: PhysicalInfo | None = None, cse: bool = True):
+        self.catalog = catalog
+        self.config = config or default_config()
+        self.physical = physical or PhysicalInfo()
+        self.cse = cse
+        self.stats = ExecStats()
+        self._memo: dict[nodes.Plan, Relation] = {}
+
+    def run(self, plan: nodes.Plan) -> Frame:
+        method = getattr(self, f"_run_{type(plan).__name__.lower()}")
+        return method(plan)
+
+    # -- leaves -------------------------------------------------------------------
+
+    def _run_scan(self, plan: nodes.Scan) -> Frame:
+        if plan.table == "_dual":
+            relation = Relation.from_columns({"_one": [1]})
+            return Frame.from_relation(relation, None)
+        relation = self.catalog.get(plan.table)
+        return Frame.from_relation(relation, plan.alias)
+
+    def _run_relscan(self, plan: nodes.RelScan) -> Frame:
+        return Frame.from_relation(plan.relation, plan.alias)
+
+    def _run_subqueryscan(self, plan: nodes.SubqueryScan) -> Frame:
+        relation = self._memo.get(plan.plan) if self.cse else None
+        if relation is None:
+            relation = self.run(plan.plan).to_plain_relation()
+            if self.cse:
+                self._memo[plan.plan] = relation
+        else:
+            self.stats.cse_hits += 1
+        return Frame.from_relation(relation, plan.alias)
+
+    def _run_rma(self, plan: nodes.Rma) -> Frame:
+        key = _cse_key(plan)
+        relation = self._memo.get(key) if self.cse else None
+        if relation is None:
+            relations = [self.run(child).to_plain_relation()
+                         for child in plan.inputs]
+            if len(relations) == 1:
+                relation = rma_operation(plan.op, relations[0],
+                                         list(plan.by[0]),
+                                         config=self.config)
+            else:
+                relation = rma_operation(plan.op, relations[0],
+                                         list(plan.by[0]), relations[1],
+                                         list(plan.by[1]),
+                                         config=self.config)
+            if self.cse:
+                self._memo[key] = relation
+        else:
+            self.stats.cse_hits += 1
+        return Frame.from_relation(relation, plan.alias)
+
+    # -- unary nodes -----------------------------------------------------------------
+
+    def _run_filter(self, plan: nodes.Filter) -> Frame:
+        frame = self.run(plan.child)
+        mask = ExpressionEvaluator(frame).mask(plan.predicate)
+        positions = np.nonzero(mask)[0].astype(np.int64)
+        return frame.select_positions(positions)
+
+    def _run_prune(self, plan: nodes.Prune) -> Frame:
+        frame = self.run(plan.child)
+        keep = [b for b in frame.bindings if b.name in plan.names]
+        if not keep or len(keep) == len(frame.bindings):
+            return frame
+        relation = Relation(
+            frame.relation.schema.project([b.internal for b in keep]),
+            [frame.relation.column(b.internal) for b in keep])
+        return Frame(relation, keep)
+
+    def _run_project(self, plan: nodes.Project) -> Frame:
+        frame = self.run(plan.child)
+        evaluator = ExpressionEvaluator(frame)
+        names: list[str] = []
+        columns: list[BAT] = []
+        for index, item in enumerate(plan.items):
+            if isinstance(item.expr, ast.Star):
+                for binding in frame.star_bindings(item.expr.table):
+                    names.append(binding.name)
+                    columns.append(frame.relation.column(binding.internal))
+                continue
+            value = evaluator.eval(item.expr)
+            names.append(item.alias
+                         or nodes.default_output_name(item.expr, index))
+            columns.append(_broadcast(value, frame.relation.nrows))
+        bindings = []
+        internals = []
+        for name, column in zip(names, columns):
+            internal = Frame._fresh(name)
+            bindings.append(Binding(None, name, internal))
+            internals.append(internal)
+        schema = Schema(Attribute(i, c.dtype)
+                        for i, c in zip(internals, columns))
+        # Keep the child's columns as hidden bindings so ORDER BY above the
+        # projection can still reference source columns.
+        hidden = [Binding(b.alias, b.name, b.internal, hidden=True)
+                  for b in frame.bindings]
+        schema = schema.concat(frame.relation.schema)
+        all_columns = columns + list(frame.relation.columns)
+        return Frame(Relation(schema, all_columns), bindings + hidden)
+
+    def _run_distinct(self, plan: nodes.Distinct) -> Frame:
+        frame = self.run(plan.child)
+        # DISTINCT applies to the visible output only; hidden (source)
+        # columns are dropped — referencing them above DISTINCT is invalid.
+        visible = frame.visible_bindings()
+        relation = Relation(
+            frame.relation.schema.project([b.internal for b in visible]),
+            [frame.relation.column(b.internal) for b in visible])
+        return Frame(rel_ops.distinct(relation), visible)
+
+    def _run_sort(self, plan: nodes.Sort) -> Frame:
+        frame = self.run(plan.child)
+        evaluator = ExpressionEvaluator(frame)
+        positions = np.arange(frame.relation.nrows, dtype=np.int64)
+        for item in reversed(plan.items):
+            value = evaluator.eval(item.expr)
+            column = _broadcast(value, frame.relation.nrows)
+            key = column.tail[positions]
+            order = np.argsort(key, kind="stable")
+            if item.descending:
+                order = order[::-1]
+            positions = positions[order]
+        return frame.select_positions(positions)
+
+    def _run_limit(self, plan: nodes.Limit) -> Frame:
+        frame = self.run(plan.child)
+        relation = rel_ops.limit(frame.relation, plan.count, plan.offset)
+        return Frame(relation, frame.bindings)
+
+    # -- aggregation --------------------------------------------------------------------
+
+    def _run_aggregate(self, plan: nodes.Aggregate) -> Frame:
+        frame = self.run(plan.child)
+        evaluator = ExpressionEvaluator(frame)
+        n = frame.relation.nrows
+
+        data: dict[str, BAT] = {}
+        key_bindings: list[tuple[str, ast.Expr]] = []
+        for key_expr, key_name in zip(plan.keys, plan.key_names):
+            data[key_name] = _broadcast(evaluator.eval(key_expr), n)
+            key_bindings.append((key_name, key_expr))
+
+        specs: list[rel_aggregate.AggregateSpec] = []
+        distinct_specs: list[nodes.AggregateSpecNode] = []
+        for spec in plan.aggregates:
+            if spec.distinct:
+                if spec.func != "count":
+                    raise PlanError(
+                        "DISTINCT is only supported for COUNT")
+                distinct_specs.append(spec)
+                continue
+            if spec.argument is None:
+                specs.append(rel_aggregate.AggregateSpec(
+                    "count", "*", spec.out_name))
+            else:
+                arg_name = f"_arg_{spec.out_name}"
+                data[arg_name] = _broadcast(evaluator.eval(spec.argument), n)
+                specs.append(rel_aggregate.AggregateSpec(
+                    spec.func, arg_name, spec.out_name))
+        for spec in distinct_specs:
+            arg_name = f"_arg_{spec.out_name}"
+            data[arg_name] = _broadcast(evaluator.eval(spec.argument), n)
+
+        work = Relation.from_columns(data) if data else frame.relation
+        key_names = [name for name, _ in key_bindings]
+        grouped = rel_aggregate.group_by(work, key_names, specs)
+
+        if distinct_specs:
+            grouped = self._attach_count_distinct(
+                work, grouped, key_names, distinct_specs)
+
+        bindings = []
+        for name, expr in key_bindings:
+            bindings.append(Binding(None, name, name))
+            # Also expose the original column name so un-rewritten
+            # references (e.g. qualified GROUP BY keys) still resolve.
+            if isinstance(expr, ast.ColumnRef):
+                bindings.append(Binding(expr.table, expr.name, name))
+        for spec in plan.aggregates:
+            bindings.append(Binding(None, spec.out_name, spec.out_name))
+        return Frame(grouped, bindings)
+
+    def _attach_count_distinct(self, work: Relation, grouped: Relation,
+                               key_names: list[str],
+                               specs: list[nodes.AggregateSpecNode]) \
+            -> Relation:
+        """COUNT(DISTINCT x): count unique (group, value) pairs per group."""
+        if key_names:
+            gids = rel_join.factorize(work.bats(key_names))
+        else:
+            gids = np.zeros(work.nrows, dtype=np.int64)
+        uniques, inverse = np.unique(gids, return_inverse=True)
+        ngroups = max(len(uniques), 1)
+        for spec in specs:
+            if work.nrows == 0:
+                counts = np.zeros(ngroups, dtype=np.int64)
+            else:
+                values = work.column(f"_arg_{spec.out_name}")
+                value_codes = rel_join.factorize([values])
+                span = int(value_codes.max()) + 1
+                pairs = inverse.astype(np.int64) * span + value_codes
+                pair_gids = np.unique(pairs) // span
+                counts = np.bincount(pair_gids, minlength=ngroups)
+            if not key_names:
+                column = BAT.from_values([int(counts[0])], DataType.INT)
+            else:
+                # grouped rows are in np.unique(gids) order, matching
+                # counts' indexing.
+                column = BAT(DataType.INT, counts.astype(np.int64))
+            grouped = rel_ops.extend(grouped, spec.out_name, column)
+        return grouped
+
+    # -- joins ------------------------------------------------------------------------
+
+    def _run_joinplan(self, plan: nodes.JoinPlan) -> Frame:
+        left = self.run(plan.left)
+        right = self.run(plan.right)
+        if plan.kind == "cross" and plan.condition is None:
+            relation = rel_ops.cross(left.relation, right.relation)
+            return Frame(relation, left.bindings + right.bindings)
+        equi, residual = self._split_join_condition(plan.condition, left,
+                                                    right)
+        if not equi:
+            if plan.kind == "left":
+                raise PlanError(
+                    "LEFT JOIN requires at least one equality condition")
+            frame = Frame(rel_ops.cross(left.relation, right.relation),
+                          left.bindings + right.bindings)
+            if plan.condition is not None:
+                mask = ExpressionEvaluator(frame).mask(plan.condition)
+                frame = frame.select_positions(
+                    np.nonzero(mask)[0].astype(np.int64))
+            return frame
+        left_keys = [ExpressionEvaluator(left).eval(e) for e, _ in equi]
+        right_keys = [ExpressionEvaluator(right).eval(e) for _, e in equi]
+        left_keys = [_broadcast(k, left.relation.nrows) for k in left_keys]
+        right_keys = [_broadcast(k, right.relation.nrows)
+                      for k in right_keys]
+        how = plan.kind if plan.kind != "cross" else "inner"
+        strategy = self.physical.join_strategy.get(plan, "auto")
+        if strategy == "merge":
+            lpos, rpos = rel_join.merge_join_positions(left_keys,
+                                                       right_keys, how=how)
+        else:
+            lpos, rpos = rel_join.join_positions(left_keys, right_keys,
+                                                 how=how)
+        left_frame = left.select_positions(lpos)
+        if plan.kind == "left":
+            safe = np.where(rpos < 0, 0, rpos)
+            right_cols = []
+            for col in right.relation.columns:
+                fetched = col.fetch(safe)
+                nil = BAT.constant(None, len(rpos), fetched.dtype) \
+                    if fetched.dtype is not DataType.BOOL else fetched
+                tail = np.where(rpos < 0, nil.tail, fetched.tail)
+                if fetched.dtype is DataType.STR:
+                    tail = tail.astype(object)
+                right_cols.append(
+                    BAT(fetched.dtype,
+                        tail.astype(fetched.dtype.numpy_dtype)))
+            right_rel = Relation(right.relation.schema, right_cols)
+        else:
+            right_rel = Relation(
+                right.relation.schema,
+                [col.fetch(rpos) for col in right.relation.columns])
+        combined = Relation(
+            left_frame.relation.schema.concat(right_rel.schema),
+            list(left_frame.relation.columns) + list(right_rel.columns))
+        frame = Frame(combined, left.bindings + right.bindings)
+        if residual:
+            predicate = nodes.conjoin(residual)
+            mask = ExpressionEvaluator(frame).mask(predicate)
+            frame = frame.select_positions(
+                np.nonzero(mask)[0].astype(np.int64))
+        return frame
+
+    def _split_join_condition(self, condition: Optional[ast.Expr],
+                              left: Frame, right: Frame):
+        """Separate equi-join conjuncts (left expr, right expr) from the
+        residual predicate."""
+        if condition is None:
+            return [], []
+        equi: list[tuple[ast.Expr, ast.Expr]] = []
+        residual: list[ast.Expr] = []
+        for conjunct in nodes.split_conjuncts(condition):
+            if (isinstance(conjunct, ast.BinaryOp)
+                    and conjunct.op == "="):
+                sides = self._classify_sides(conjunct, left, right)
+                if sides is not None:
+                    equi.append(sides)
+                    continue
+            residual.append(conjunct)
+        return equi, residual
+
+    def _classify_sides(self, eq: ast.BinaryOp, left: Frame,
+                        right: Frame):
+        def side_of(expr: ast.Expr) -> str | None:
+            refs = nodes.column_refs(expr)
+            if not refs:
+                return None
+            sides = set()
+            for ref in refs:
+                if self._resolvable(left, ref):
+                    sides.add("left")
+                elif self._resolvable(right, ref):
+                    sides.add("right")
+                else:
+                    return "unknown"
+            if len(sides) == 1:
+                return sides.pop()
+            return "both"
+
+        left_side = side_of(eq.left)
+        right_side = side_of(eq.right)
+        if left_side == "left" and right_side == "right":
+            return eq.left, eq.right
+        if left_side == "right" and right_side == "left":
+            return eq.right, eq.left
+        return None
+
+    @staticmethod
+    def _resolvable(frame: Frame, ref: ast.ColumnRef) -> bool:
+        try:
+            frame.resolve(ref)
+            return True
+        except BindError:
+            return False

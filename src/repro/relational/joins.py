@@ -81,20 +81,75 @@ def join_positions(left_keys: Sequence[BAT], right_keys: Sequence[BAT],
     if properties_enabled() and _codes_sorted(rcodes):
         # Already-sorted right side (dimension tables with dense keys):
         # the identity permutation is the stable argsort.
-        order_r = np.arange(len(rcodes), dtype=np.int64)
+        order_r = None
         sorted_r = rcodes
     else:
         order_r = np.argsort(rcodes, kind="stable")
         sorted_r = rcodes[order_r]
     lo = np.searchsorted(sorted_r, lcodes, side="left")
     hi = np.searchsorted(sorted_r, lcodes, side="right")
+    return _expand_matches(lo, hi, order_r, how)
+
+
+MERGE_TYPES = (DataType.INT, DataType.DBL, DataType.DATE, DataType.TIME,
+               DataType.OID)
+"""Key dtypes eligible for the sorted-merge join path (raw tails totally
+ordered; STR is excluded because nil ``None`` breaks object comparisons).
+The physical planner consults this to avoid predicting merge joins the
+runtime would reject."""
+
+
+def merge_join_positions(left_keys: Sequence[BAT],
+                         right_keys: Sequence[BAT],
+                         how: str = "inner") \
+        -> tuple[np.ndarray, np.ndarray]:
+    """Sorted merge path of the equi-join, selected by the physical planner.
+
+    When both sides are one column of the same raw-comparable type whose
+    tails are already sorted (the cached ``tsorted`` bits of PR 1 answer
+    this in O(1) for base columns, O(n) once otherwise), matches come from
+    two binary searches directly on the raw tails — skipping the
+    factorization (which sorts each key column internally via
+    ``np.unique``) and the right-side argsort of the hash path entirely.
+
+    The output position pairs are identical to :func:`join_positions`:
+    codes are order-isomorphic to raw values, so the group boundaries
+    agree, and the sorted right side makes the stable argsort the
+    identity.  Preconditions are re-verified here at run time; when they
+    do not hold the call falls back to the hash path, so a planner
+    mis-prediction costs nothing but the check.
+
+    STR keys stay on the hash path (nil ordering of object tails is not
+    total); DBL qualifies because its ``tsorted`` contract is nil-free.
+    """
+    if (properties_enabled()
+            and len(left_keys) == 1 and len(right_keys) == 1):
+        left, right = left_keys[0], right_keys[0]
+        if (left.dtype is right.dtype and left.dtype in MERGE_TYPES
+                and left.tsorted and right.tsorted):
+            if how not in ("inner", "left"):
+                raise RelationError(f"unsupported join type {how!r}")
+            lo = np.searchsorted(right.tail, left.tail, side="left")
+            hi = np.searchsorted(right.tail, left.tail, side="right")
+            return _expand_matches(lo, hi, None, how)
+    return join_positions(left_keys, right_keys, how)
+
+
+def _expand_matches(lo: np.ndarray, hi: np.ndarray,
+                    order_r: np.ndarray | None,
+                    how: str) -> tuple[np.ndarray, np.ndarray]:
+    """Expand per-left-row match ranges [lo, hi) into position pairs.
+
+    ``order_r`` maps sorted-right indexes back to storage positions; None
+    means the right side is already in sorted order (identity).
+    """
     counts = hi - lo
     if how == "left":
         out_counts = np.maximum(counts, 1)
     else:
         out_counts = counts
     total = int(out_counts.sum())
-    lpos = np.repeat(np.arange(len(lcodes), dtype=np.int64), out_counts)
+    lpos = np.repeat(np.arange(len(lo), dtype=np.int64), out_counts)
     starts = np.repeat(lo, out_counts)
     group_offsets = (np.arange(total, dtype=np.int64)
                      - np.repeat(np.cumsum(out_counts) - out_counts,
@@ -103,9 +158,10 @@ def join_positions(left_keys: Sequence[BAT], right_keys: Sequence[BAT],
     if how == "left":
         matched = np.repeat(counts > 0, out_counts)
         rpos = np.full(total, -1, dtype=np.int64)
-        rpos[matched] = order_r[sorted_idx[matched]]
+        hits = sorted_idx[matched]
+        rpos[matched] = hits if order_r is None else order_r[hits]
     else:
-        rpos = order_r[sorted_idx]
+        rpos = sorted_idx if order_r is None else order_r[sorted_idx]
     return lpos, rpos
 
 

@@ -50,6 +50,16 @@ class OrderInfo:
         return self._ranks
 
     @property
+    def known_positions(self) -> np.ndarray | None:
+        """The sort positions if already computed, else None (no compute)."""
+        return self._positions
+
+    @property
+    def known_is_key(self) -> bool | None:
+        """The key verdict if already known, else None (no compute)."""
+        return self._is_key
+
+    @property
     def is_key(self) -> bool:
         if self._is_key is None:
             verdict = None
@@ -204,6 +214,39 @@ class Relation:
             self._order_cache[key] = info
         return info
 
+    def cached_order_info(self, names: Sequence[str]) -> OrderInfo | None:
+        """The cached order for a name tuple, or None — never computes."""
+        return self._order_cache.get(tuple(names))
+
+    def seed_order(self, names: Sequence[str], *,
+                   info: OrderInfo | None = None,
+                   positions: np.ndarray | None = None,
+                   is_key: bool | None = None) -> None:
+        """Pre-populate the order cache with externally derived knowledge.
+
+        Used by ``merge_result`` so derived relations start warm: a result
+        built in order-schema order gets identity positions, a result in
+        the input's storage order shares the input's :class:`OrderInfo`.
+        Callers must be right (like ``BAT._seed_props``); existing entries
+        are never overwritten, and the call is a no-op while the property
+        layer is disabled, which keeps the ablation honest.
+        """
+        if not properties_enabled():
+            return
+        key = tuple(names)
+        if key in self._order_cache:
+            return
+        if info is None:
+            info = OrderInfo(self.bats(key))
+            if positions is not None:
+                positions = np.asarray(positions, dtype=np.int64)
+                info._positions = positions
+                if _is_identity(positions):
+                    info._ranks = positions
+            if is_key is not None:
+                info._is_key = bool(is_key)
+        self._order_cache[key] = info
+
     def is_key(self, names: Sequence[str]) -> bool:
         """Whether the named attributes uniquely identify every tuple."""
         key = tuple(names)
@@ -283,6 +326,13 @@ class Relation:
         if self.nrows > max_rows:
             lines.append(f"... ({self.nrows} rows total)")
         return "\n".join(lines)
+
+
+def _is_identity(positions: np.ndarray) -> bool:
+    n = len(positions)
+    return bool(n == 0 or (positions[0] == 0 and positions[-1] == n - 1
+                           and np.array_equal(positions,
+                                              np.arange(n, dtype=np.int64))))
 
 
 def require_same_length(left: Relation, right: Relation,

@@ -8,10 +8,18 @@ available in the FROM clause (§7.2):
     SELECT * FROM INV(rating BY User);
     SELECT * FROM MMU(w4 BY C, w3 BY U) AS w5 CROSS JOIN (...) AS t;
 
-This package provides the same surface on our engine: a lexer, a recursive
-descent parser, a logical planner with a small rule-based optimizer
-(predicate pushdown, projection pruning, join ordering), and a BAT executor.
-:class:`~repro.sql.session.Session` ties it to a catalog.
+This package provides the same surface on our engine, as a *thin front
+end* over the shared plan layer (:mod:`repro.plan`): a lexer, a recursive
+descent parser, and ``build_select`` compiling the AST into the shared
+logical IR.  Optimization and execution happen in :mod:`repro.plan` — the
+same optimizer, physical planner (order-aware join strategy, CSE) and
+executor also serve the lazy Python builder (:mod:`repro.plan.lazy`).
+:class:`~repro.sql.session.Session` ties it to a catalog and adds
+``EXPLAIN <select>``, which returns the optimized plan with its physical
+annotations as a one-column relation.
+
+The ``logical``/``optimizer``/``executor`` modules remain as compatibility
+shims re-exporting the plan layer.
 """
 
 from repro.sql.session import Session

@@ -300,6 +300,16 @@ class DropTable(Node):
 
 
 @dataclass(frozen=True)
+class Explain(Node):
+    """EXPLAIN <select>: show the optimized logical/physical plan."""
+
+    query: Select
+
+    def to_sql(self) -> str:
+        return f"EXPLAIN {self.query.to_sql()}"
+
+
+@dataclass(frozen=True)
 class InsertValues(Node):
     table: str
     rows: tuple[tuple[Expr, ...], ...]
@@ -313,4 +323,4 @@ class InsertValues(Node):
         return f"INSERT INTO {self.table}{cols} VALUES {rows}"
 
 
-Statement = Select | CreateTable | DropTable | InsertValues
+Statement = Select | CreateTable | DropTable | InsertValues | Explain

@@ -1,637 +1,25 @@
-"""Physical execution of logical plans over the BAT engine."""
-
-from __future__ import annotations
-
-import re
-from dataclasses import dataclass
-from typing import Any, Optional
-
-import numpy as np
-
-from repro.bat.bat import BAT, DataType
-from repro.bat.catalog import Catalog
-from repro.bat import kernels
-from repro.core.config import RmaConfig, default_config
-from repro.core.algebra import rma_operation
-from repro.errors import BindError, PlanError, SqlError
-import repro.relational.aggregate as rel_aggregate
-import repro.relational.joins as rel_join
-import repro.relational.ops as rel_ops
-from repro.relational.relation import Relation
-from repro.relational.schema import Attribute, Schema
-from repro.sql import ast, logical
-from repro.sql.functions import SCALAR_FUNCTIONS
-
-
-@dataclass(frozen=True)
-class Binding:
-    """Maps a user-visible (alias, column) pair to an internal column.
-
-    ``hidden`` bindings are resolvable (so ORDER BY can reference source
-    columns after projection) but are not part of the visible output.
-    """
-
-    alias: Optional[str]
-    name: str
-    internal: str
-    hidden: bool = False
-
-
-class Frame:
-    """A relation with name bindings for expression resolution.
-
-    Internal column names are globally unique within the frame so joins can
-    concatenate schemas without clashes while user-visible names stay
-    resolvable (qualified or unqualified).
-    """
-
-    _counter = 0
-
-    def __init__(self, relation: Relation, bindings: list[Binding]):
-        self.relation = relation
-        self.bindings = bindings
-
-    @classmethod
-    def _fresh(cls, hint: str) -> str:
-        cls._counter += 1
-        return f"{hint}#{cls._counter}"
-
-    @classmethod
-    def from_relation(cls, relation: Relation,
-                      alias: Optional[str]) -> "Frame":
-        bindings = []
-        internal_names = []
-        for name in relation.names:
-            internal = cls._fresh(name)
-            bindings.append(Binding(alias, name, internal))
-            internal_names.append(internal)
-        schema = Schema(Attribute(internal, relation.schema.dtype(name))
-                        for internal, name in zip(internal_names,
-                                                  relation.names))
-        return cls(Relation(schema, relation.columns), bindings)
-
-    # -- resolution ----------------------------------------------------------
-
-    def resolve(self, ref: ast.ColumnRef) -> str:
-        def lookup(candidates: list[Binding]) -> list[Binding]:
-            return [b for b in candidates
-                    if b.name == ref.name
-                    and (ref.table is None or b.alias == ref.table)]
-
-        matches = lookup(self.visible_bindings())
-        if not matches:
-            matches = lookup([b for b in self.bindings if b.hidden])
-        if not matches:
-            known = sorted({b.name for b in self.bindings})
-            raise BindError(
-                f"unknown column {ref.to_sql()!r}; available: "
-                f"{', '.join(known)}")
-        if len(matches) > 1 and ref.table is None:
-            aliases = sorted({str(b.alias) for b in matches})
-            raise BindError(
-                f"ambiguous column {ref.name!r} (in {', '.join(aliases)}); "
-                "qualify it")
-        return matches[0].internal
-
-    def column(self, ref: ast.ColumnRef) -> BAT:
-        return self.relation.column(self.resolve(ref))
-
-    def visible_bindings(self) -> list[Binding]:
-        return [b for b in self.bindings if not b.hidden]
-
-    def star_bindings(self, table: Optional[str]) -> list[Binding]:
-        if table is None:
-            return self.visible_bindings()
-        matches = [b for b in self.visible_bindings() if b.alias == table]
-        if not matches:
-            raise BindError(f"unknown table alias {table!r} in star")
-        return matches
-
-    def to_plain_relation(self) -> Relation:
-        """Expose user-visible names (for RMA inputs and final output)."""
-        visible = self.visible_bindings()
-        names = [b.name for b in visible]
-        if len(set(names)) != len(names):
-            duplicates = sorted({n for n in names if names.count(n) > 1})
-            raise BindError(
-                f"duplicate output columns {duplicates}; add aliases")
-        schema = Schema(Attribute(b.name,
-                                  self.relation.schema.dtype(b.internal))
-                        for b in visible)
-        columns = [self.relation.column(b.internal) for b in visible]
-        return Relation(schema, columns)
-
-    def select_positions(self, positions: np.ndarray) -> "Frame":
-        relation = Relation(
-            self.relation.schema,
-            [col.fetch(positions) for col in self.relation.columns])
-        return Frame(relation, self.bindings)
-
-
-# -- expression evaluation -------------------------------------------------------
-
-_LIKE_CACHE: dict[str, re.Pattern] = {}
-
-
-def _like_pattern(pattern: str) -> re.Pattern:
-    if pattern not in _LIKE_CACHE:
-        regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
-        _LIKE_CACHE[pattern] = re.compile(f"^{regex}$", re.IGNORECASE)
-    return _LIKE_CACHE[pattern]
-
-
-def _as_mask(value: Any, n: int) -> np.ndarray:
-    if isinstance(value, BAT):
-        if value.dtype is not DataType.BOOL:
-            raise PlanError("predicate did not evaluate to a boolean")
-        return value.tail.astype(bool)
-    if isinstance(value, (bool, np.bool_)):
-        return np.full(n, bool(value))
-    raise PlanError(f"predicate evaluated to {type(value).__name__}")
-
-
-def _broadcast(value: Any, n: int) -> BAT:
-    if isinstance(value, BAT):
-        return value
-    return BAT.constant(value, n)
-
-
-class ExpressionEvaluator:
-    """Vectorized evaluation of AST expressions over a frame."""
-
-    def __init__(self, frame: Frame):
-        self.frame = frame
-        self.n = frame.relation.nrows
-
-    def eval(self, expr: ast.Expr) -> Any:
-        """Returns a BAT (column result) or a python scalar."""
-        method = getattr(self, f"_eval_{type(expr).__name__.lower()}", None)
-        if method is None:
-            raise PlanError(f"cannot evaluate expression {expr!r}")
-        return method(expr)
-
-    def mask(self, expr: ast.Expr) -> np.ndarray:
-        return _as_mask(self.eval(expr), self.n)
-
-    # -- node handlers ----------------------------------------------------------
-
-    def _eval_literal(self, expr: ast.Literal) -> Any:
-        return expr.value
-
-    def _eval_columnref(self, expr: ast.ColumnRef) -> BAT:
-        return self.frame.column(expr)
-
-    def _eval_unaryop(self, expr: ast.UnaryOp) -> Any:
-        value = self.eval(expr.operand)
-        if expr.op == "NOT":
-            mask = _as_mask(value, self.n)
-            return BAT(DataType.BOOL, ~mask)
-        if expr.op == "-":
-            if isinstance(value, BAT):
-                return kernels.neg(value)
-            return -value
-        return value
-
-    def _eval_binaryop(self, expr: ast.BinaryOp) -> Any:
-        op = expr.op
-        if op in ("AND", "OR"):
-            left = _as_mask(self.eval(expr.left), self.n)
-            right = _as_mask(self.eval(expr.right), self.n)
-            out = left & right if op == "AND" else left | right
-            return BAT(DataType.BOOL, out)
-        if op in ("LIKE", "NOT LIKE"):
-            return self._eval_like(expr)
-        left = self.eval(expr.left)
-        right = self.eval(expr.right)
-        if op in ("+", "-", "*", "/", "%"):
-            if isinstance(left, BAT):
-                return kernels.binop(op, left, right)
-            if isinstance(right, BAT):
-                return kernels.rbinop(op, left, right)
-            if op == "/":
-                return left / right
-            if op == "%":
-                return left % right
-            return {"+": left + right, "-": left - right,
-                    "*": left * right}[op]
-        if op == "||":
-            return self._concat(left, right)
-        # comparisons
-        if isinstance(left, BAT):
-            mask = kernels.compare(op, left, right)
-        elif isinstance(right, BAT):
-            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
-            mask = kernels.compare(flipped, right, left)
-        else:
-            func = {"=": lambda a, b: a == b, "<>": lambda a, b: a != b,
-                    "!=": lambda a, b: a != b, "<": lambda a, b: a < b,
-                    "<=": lambda a, b: a <= b, ">": lambda a, b: a > b,
-                    ">=": lambda a, b: a >= b}[op]
-            return func(left, right)
-        return BAT(DataType.BOOL, mask)
-
-    def _concat(self, left: Any, right: Any) -> Any:
-        if not isinstance(left, BAT) and not isinstance(right, BAT):
-            return str(left) + str(right)
-        left_bat = _broadcast(left, self.n).cast(DataType.STR)
-        right_bat = _broadcast(right, self.n).cast(DataType.STR)
-        values = np.array(
-            [None if a is None or b is None else a + b
-             for a, b in zip(left_bat.tail, right_bat.tail)], dtype=object)
-        return BAT(DataType.STR, values)
-
-    def _eval_like(self, expr: ast.BinaryOp) -> BAT:
-        value = self.eval(expr.left)
-        pattern = self.eval(expr.right)
-        if isinstance(pattern, BAT):
-            raise PlanError("LIKE pattern must be a constant")
-        regex = _like_pattern(str(pattern))
-        bat = _broadcast(value, self.n).cast(DataType.STR)
-        mask = np.array([v is not None and bool(regex.match(v))
-                         for v in bat.tail], dtype=bool)
-        if expr.op == "NOT LIKE":
-            mask = ~mask
-        return BAT(DataType.BOOL, mask)
-
-    def _eval_isnull(self, expr: ast.IsNull) -> BAT:
-        value = self.eval(expr.operand)
-        if isinstance(value, BAT):
-            mask = value.is_nil()
-        else:
-            mask = np.full(self.n, value is None)
-        if expr.negated:
-            mask = ~mask
-        return BAT(DataType.BOOL, mask)
-
-    def _eval_between(self, expr: ast.Between) -> BAT:
-        rewritten = ast.BinaryOp(
-            "AND",
-            ast.BinaryOp(">=", expr.operand, expr.low),
-            ast.BinaryOp("<=", expr.operand, expr.high))
-        mask = _as_mask(self.eval(rewritten), self.n)
-        if expr.negated:
-            mask = ~mask
-        return BAT(DataType.BOOL, mask)
-
-    def _eval_inlist(self, expr: ast.InList) -> BAT:
-        mask = np.zeros(self.n, dtype=bool)
-        operand = self.eval(expr.operand)
-        for item in expr.items:
-            value = self.eval(item)
-            if isinstance(operand, BAT):
-                mask |= kernels.compare("=", operand, value)
-            else:
-                mask |= np.full(self.n, operand == value)
-        if expr.negated:
-            mask = ~mask
-        return BAT(DataType.BOOL, mask)
-
-    def _eval_casewhen(self, expr: ast.CaseWhen) -> Any:
-        conditions = [_as_mask(self.eval(c), self.n)
-                      for c, _ in expr.branches]
-        values = [self.eval(v) for _, v in expr.branches]
-        otherwise = (self.eval(expr.otherwise)
-                     if expr.otherwise is not None else None)
-        # Pick a result type from the first columnar/non-null value.
-        prototype = next((v for v in values + [otherwise]
-                          if isinstance(v, BAT)), None)
-        if prototype is not None:
-            dtype = prototype.dtype
-        else:
-            from repro.bat.bat import infer_type
-            scalars = [v for v in values + [otherwise] if v is not None]
-            dtype = infer_type(scalars)
-        result = (_broadcast(otherwise, self.n) if otherwise is not None
-                  else BAT.constant(None, self.n, dtype))
-        # Apply branches from last to first so the first match wins.
-        for mask, value in reversed(list(zip(conditions, values))):
-            value_bat = (_broadcast(value, self.n) if value is not None
-                         else BAT.constant(None, self.n, dtype))
-            result = kernels.ifthenelse(mask, value_bat, result)
-        return result
-
-    def _eval_functioncall(self, expr: ast.FunctionCall) -> Any:
-        if expr.name in logical.AGGREGATE_FUNCTIONS:
-            raise PlanError(
-                f"aggregate {expr.name} used outside of SELECT/HAVING "
-                "with GROUP BY")
-        func = SCALAR_FUNCTIONS.get(expr.name)
-        if func is None:
-            raise BindError(f"unknown function {expr.name}")
-        args = [self.eval(a) for a in expr.args]
-        return func(self, args)
-
-    def _eval_star(self, expr: ast.Star) -> Any:
-        raise PlanError("'*' is only valid in SELECT lists and COUNT(*)")
-
-
-# -- plan execution -----------------------------------------------------------------
-
-class Executor:
-    """Evaluates logical plans against a catalog."""
-
-    def __init__(self, catalog: Catalog, config: RmaConfig | None = None):
-        self.catalog = catalog
-        self.config = config or default_config()
-
-    def run(self, plan: logical.Plan) -> Frame:
-        method = getattr(self, f"_run_{type(plan).__name__.lower()}")
-        return method(plan)
-
-    # -- leaves -------------------------------------------------------------------
-
-    def _run_scan(self, plan: logical.Scan) -> Frame:
-        if plan.table == "_dual":
-            relation = Relation.from_columns({"_one": [1]})
-            return Frame.from_relation(relation, None)
-        relation = self.catalog.get(plan.table)
-        return Frame.from_relation(relation, plan.alias)
-
-    def _run_subqueryscan(self, plan: logical.SubqueryScan) -> Frame:
-        inner = self.run(plan.plan)
-        return Frame.from_relation(inner.to_plain_relation(), plan.alias)
-
-    def _run_rma(self, plan: logical.Rma) -> Frame:
-        relations = [self.run(child).to_plain_relation()
-                     for child in plan.inputs]
-        if len(relations) == 1:
-            result = rma_operation(plan.op, relations[0], list(plan.by[0]),
-                                   config=self.config)
-        else:
-            result = rma_operation(plan.op, relations[0], list(plan.by[0]),
-                                   relations[1], list(plan.by[1]),
-                                   config=self.config)
-        return Frame.from_relation(result, plan.alias)
-
-    # -- unary nodes -----------------------------------------------------------------
-
-    def _run_filter(self, plan: logical.Filter) -> Frame:
-        frame = self.run(plan.child)
-        mask = ExpressionEvaluator(frame).mask(plan.predicate)
-        positions = np.nonzero(mask)[0].astype(np.int64)
-        return frame.select_positions(positions)
-
-    def _run_prune(self, plan: logical.Prune) -> Frame:
-        frame = self.run(plan.child)
-        keep = [b for b in frame.bindings if b.name in plan.names]
-        if not keep:
-            return frame
-        relation = Relation(
-            frame.relation.schema.project([b.internal for b in keep]),
-            [frame.relation.column(b.internal) for b in keep])
-        return Frame(relation, keep)
-
-    def _run_project(self, plan: logical.Project) -> Frame:
-        frame = self.run(plan.child)
-        evaluator = ExpressionEvaluator(frame)
-        names: list[str] = []
-        columns: list[BAT] = []
-        for index, item in enumerate(plan.items):
-            if isinstance(item.expr, ast.Star):
-                for binding in frame.star_bindings(item.expr.table):
-                    names.append(binding.name)
-                    columns.append(frame.relation.column(binding.internal))
-                continue
-            value = evaluator.eval(item.expr)
-            names.append(item.alias
-                         or logical.default_output_name(item.expr, index))
-            columns.append(_broadcast(value, frame.relation.nrows))
-        bindings = []
-        internals = []
-        for name, column in zip(names, columns):
-            internal = Frame._fresh(name)
-            bindings.append(Binding(None, name, internal))
-            internals.append(internal)
-        schema = Schema(Attribute(i, c.dtype)
-                        for i, c in zip(internals, columns))
-        # Keep the child's columns as hidden bindings so ORDER BY above the
-        # projection can still reference source columns.
-        hidden = [Binding(b.alias, b.name, b.internal, hidden=True)
-                  for b in frame.bindings]
-        schema = schema.concat(frame.relation.schema)
-        all_columns = columns + list(frame.relation.columns)
-        return Frame(Relation(schema, all_columns), bindings + hidden)
-
-    def _run_distinct(self, plan: logical.Distinct) -> Frame:
-        frame = self.run(plan.child)
-        # DISTINCT applies to the visible output only; hidden (source)
-        # columns are dropped — referencing them above DISTINCT is invalid.
-        visible = frame.visible_bindings()
-        relation = Relation(
-            frame.relation.schema.project([b.internal for b in visible]),
-            [frame.relation.column(b.internal) for b in visible])
-        return Frame(rel_ops.distinct(relation), visible)
-
-    def _run_sort(self, plan: logical.Sort) -> Frame:
-        frame = self.run(plan.child)
-        evaluator = ExpressionEvaluator(frame)
-        positions = np.arange(frame.relation.nrows, dtype=np.int64)
-        for item in reversed(plan.items):
-            value = evaluator.eval(item.expr)
-            column = _broadcast(value, frame.relation.nrows)
-            key = column.tail[positions]
-            order = np.argsort(key, kind="stable")
-            if item.descending:
-                order = order[::-1]
-            positions = positions[order]
-        return frame.select_positions(positions)
-
-    def _run_limit(self, plan: logical.Limit) -> Frame:
-        frame = self.run(plan.child)
-        relation = rel_ops.limit(frame.relation, plan.count, plan.offset)
-        return Frame(relation, frame.bindings)
-
-    # -- aggregation --------------------------------------------------------------------
-
-    def _run_aggregate(self, plan: logical.Aggregate) -> Frame:
-        frame = self.run(plan.child)
-        evaluator = ExpressionEvaluator(frame)
-        n = frame.relation.nrows
-
-        data: dict[str, BAT] = {}
-        key_bindings: list[tuple[str, ast.Expr]] = []
-        for key_expr, key_name in zip(plan.keys, plan.key_names):
-            data[key_name] = _broadcast(evaluator.eval(key_expr), n)
-            key_bindings.append((key_name, key_expr))
-
-        specs: list[rel_aggregate.AggregateSpec] = []
-        distinct_specs: list[logical.AggregateSpecNode] = []
-        for spec in plan.aggregates:
-            if spec.distinct:
-                if spec.func != "count":
-                    raise PlanError(
-                        "DISTINCT is only supported for COUNT")
-                distinct_specs.append(spec)
-                continue
-            if spec.argument is None:
-                specs.append(rel_aggregate.AggregateSpec(
-                    "count", "*", spec.out_name))
-            else:
-                arg_name = f"_arg_{spec.out_name}"
-                data[arg_name] = _broadcast(evaluator.eval(spec.argument), n)
-                specs.append(rel_aggregate.AggregateSpec(
-                    spec.func, arg_name, spec.out_name))
-        for spec in distinct_specs:
-            arg_name = f"_arg_{spec.out_name}"
-            data[arg_name] = _broadcast(evaluator.eval(spec.argument), n)
-
-        work = Relation.from_columns(data) if data else frame.relation
-        key_names = [name for name, _ in key_bindings]
-        grouped = rel_aggregate.group_by(work, key_names, specs)
-
-        if distinct_specs:
-            grouped = self._attach_count_distinct(
-                work, grouped, key_names, distinct_specs)
-
-        bindings = []
-        for name, expr in key_bindings:
-            bindings.append(Binding(None, name, name))
-            # Also expose the original column name so un-rewritten
-            # references (e.g. qualified GROUP BY keys) still resolve.
-            if isinstance(expr, ast.ColumnRef):
-                bindings.append(Binding(expr.table, expr.name, name))
-        for spec in plan.aggregates:
-            bindings.append(Binding(None, spec.out_name, spec.out_name))
-        return Frame(grouped, bindings)
-
-    def _attach_count_distinct(self, work: Relation, grouped: Relation,
-                               key_names: list[str],
-                               specs: list[logical.AggregateSpecNode]) \
-            -> Relation:
-        """COUNT(DISTINCT x): count unique (group, value) pairs per group."""
-        if key_names:
-            gids = rel_join.factorize(work.bats(key_names))
-        else:
-            gids = np.zeros(work.nrows, dtype=np.int64)
-        uniques, inverse = np.unique(gids, return_inverse=True)
-        ngroups = max(len(uniques), 1)
-        for spec in specs:
-            if work.nrows == 0:
-                counts = np.zeros(ngroups, dtype=np.int64)
-            else:
-                values = work.column(f"_arg_{spec.out_name}")
-                value_codes = rel_join.factorize([values])
-                span = int(value_codes.max()) + 1
-                pairs = inverse.astype(np.int64) * span + value_codes
-                pair_gids = np.unique(pairs) // span
-                counts = np.bincount(pair_gids, minlength=ngroups)
-            if not key_names:
-                column = BAT.from_values([int(counts[0])], DataType.INT)
-            else:
-                # grouped rows are in np.unique(gids) order, matching
-                # counts' indexing.
-                column = BAT(DataType.INT, counts.astype(np.int64))
-            grouped = rel_ops.extend(grouped, spec.out_name, column)
-        return grouped
-
-    # -- joins ------------------------------------------------------------------------
-
-    def _run_joinplan(self, plan: logical.JoinPlan) -> Frame:
-        left = self.run(plan.left)
-        right = self.run(plan.right)
-        if plan.kind == "cross" and plan.condition is None:
-            relation = rel_ops.cross(left.relation, right.relation)
-            return Frame(relation, left.bindings + right.bindings)
-        equi, residual = self._split_join_condition(plan.condition, left,
-                                                    right)
-        if not equi:
-            if plan.kind == "left":
-                raise PlanError(
-                    "LEFT JOIN requires at least one equality condition")
-            frame = Frame(rel_ops.cross(left.relation, right.relation),
-                          left.bindings + right.bindings)
-            if plan.condition is not None:
-                mask = ExpressionEvaluator(frame).mask(plan.condition)
-                frame = frame.select_positions(
-                    np.nonzero(mask)[0].astype(np.int64))
-            return frame
-        left_keys = [ExpressionEvaluator(left).eval(e) for e, _ in equi]
-        right_keys = [ExpressionEvaluator(right).eval(e) for _, e in equi]
-        left_keys = [_broadcast(k, left.relation.nrows) for k in left_keys]
-        right_keys = [_broadcast(k, right.relation.nrows)
-                      for k in right_keys]
-        lpos, rpos = rel_join.join_positions(left_keys, right_keys,
-                                             how=plan.kind
-                                             if plan.kind != "cross"
-                                             else "inner")
-        left_frame = left.select_positions(lpos)
-        if plan.kind == "left":
-            safe = np.where(rpos < 0, 0, rpos)
-            right_cols = []
-            for col in right.relation.columns:
-                fetched = col.fetch(safe)
-                nil = BAT.constant(None, len(rpos), fetched.dtype) \
-                    if fetched.dtype is not DataType.BOOL else fetched
-                tail = np.where(rpos < 0, nil.tail, fetched.tail)
-                if fetched.dtype is DataType.STR:
-                    tail = tail.astype(object)
-                right_cols.append(
-                    BAT(fetched.dtype,
-                        tail.astype(fetched.dtype.numpy_dtype)))
-            right_rel = Relation(right.relation.schema, right_cols)
-        else:
-            right_rel = Relation(
-                right.relation.schema,
-                [col.fetch(rpos) for col in right.relation.columns])
-        combined = Relation(
-            left_frame.relation.schema.concat(right_rel.schema),
-            list(left_frame.relation.columns) + list(right_rel.columns))
-        frame = Frame(combined, left.bindings + right.bindings)
-        if residual:
-            predicate = logical.conjoin(residual)
-            mask = ExpressionEvaluator(frame).mask(predicate)
-            frame = frame.select_positions(
-                np.nonzero(mask)[0].astype(np.int64))
-        return frame
-
-    def _split_join_condition(self, condition: Optional[ast.Expr],
-                              left: Frame, right: Frame):
-        """Separate equi-join conjuncts (left expr, right expr) from the
-        residual predicate."""
-        if condition is None:
-            return [], []
-        equi: list[tuple[ast.Expr, ast.Expr]] = []
-        residual: list[ast.Expr] = []
-        for conjunct in logical.split_conjuncts(condition):
-            if (isinstance(conjunct, ast.BinaryOp)
-                    and conjunct.op == "="):
-                sides = self._classify_sides(conjunct, left, right)
-                if sides is not None:
-                    equi.append(sides)
-                    continue
-            residual.append(conjunct)
-        return equi, residual
-
-    def _classify_sides(self, eq: ast.BinaryOp, left: Frame,
-                        right: Frame):
-        def side_of(expr: ast.Expr) -> str | None:
-            refs = logical.column_refs(expr)
-            if not refs:
-                return None
-            sides = set()
-            for ref in refs:
-                if self._resolvable(left, ref):
-                    sides.add("left")
-                elif self._resolvable(right, ref):
-                    sides.add("right")
-                else:
-                    return "unknown"
-            if len(sides) == 1:
-                return sides.pop()
-            return "both"
-
-        left_side = side_of(eq.left)
-        right_side = side_of(eq.right)
-        if left_side == "left" and right_side == "right":
-            return eq.left, eq.right
-        if left_side == "right" and right_side == "left":
-            return eq.right, eq.left
-        return None
-
-    @staticmethod
-    def _resolvable(frame: Frame, ref: ast.ColumnRef) -> bool:
-        try:
-            frame.resolve(ref)
-            return True
-        except BindError:
-            return False
+"""Compatibility shim: plan execution moved to the shared plan layer.
+
+The executor, expression evaluator and frame machinery live in
+:mod:`repro.plan.physical` — one engine serving the SQL session and the
+lazy builder.  This module re-exports the public names so existing imports
+(``from repro.sql.executor import Executor``) keep working.
+"""
+
+from repro.plan.physical import (  # noqa: F401  (re-exported API)
+    Binding,
+    ExecStats,
+    ExpressionEvaluator,
+    Executor,
+    Frame,
+    PhysicalInfo,
+    _as_mask,
+    _broadcast,
+    _like_pattern,
+    plan_physical,
+)
+
+__all__ = [
+    "Binding", "ExecStats", "ExpressionEvaluator", "Executor", "Frame",
+    "PhysicalInfo", "plan_physical",
+]

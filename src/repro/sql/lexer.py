@@ -14,6 +14,8 @@ KEYWORDS = {
     "ELSE", "END", "CREATE", "TABLE", "DROP", "INSERT", "INTO", "VALUES",
     "IF", "EXISTS", "UNION", "ALL", "DATE", "TIME", "CAST",
 }
+# EXPLAIN is deliberately NOT a keyword: it is recognized only at statement
+# start (parser), so 'explain' stays usable as a column/table identifier.
 
 SYMBOLS = ("<>", "!=", "<=", ">=", "||", "<", ">", "=", "(", ")", ",",
            "+", "-", "*", "/", "%", ".", ";")

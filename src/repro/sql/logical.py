@@ -1,256 +1,45 @@
-"""Logical query plans and AST analysis utilities."""
+"""SQL front end: AST -> shared logical plan.
+
+The plan node types and expression-analysis helpers live in
+:mod:`repro.plan.nodes` (they are shared with the lazy builder); this
+module re-exports them for backwards compatibility and contributes the
+SQL-specific part — compiling a parsed ``SELECT`` into the shared IR.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Iterator, Optional
+from typing import Optional
 
 from repro.errors import PlanError
+from repro.plan.nodes import (  # noqa: F401  (re-exported API)
+    AGGREGATE_FUNCTIONS,
+    Aggregate,
+    AggregateSpecNode,
+    Distinct,
+    Filter,
+    JoinPlan,
+    Limit,
+    Plan,
+    Project,
+    Prune,
+    RelScan,
+    Rma,
+    Scan,
+    Sort,
+    SubqueryScan,
+    aggregate_calls,
+    column_refs,
+    conjoin,
+    contains_aggregate,
+    default_output_name,
+    replace_expr,
+    split_conjuncts,
+    walk_expr,
+    walk_plan,
+)
 from repro.sql import ast
 
-AGGREGATE_FUNCTIONS = {"AVG": "avg", "SUM": "sum", "COUNT": "count",
-                       "MIN": "min", "MAX": "max", "VAR": "var",
-                       "STDDEV": "std"}
-
-
-class Plan:
-    """Base class of logical plan nodes."""
-
-    def children(self) -> tuple["Plan", ...]:
-        return ()
-
-
-@dataclass(frozen=True)
-class Scan(Plan):
-    table: str
-    alias: str
-
-
-@dataclass(frozen=True)
-class SubqueryScan(Plan):
-    plan: Plan
-    alias: str
-
-    def children(self):
-        return (self.plan,)
-
-
-@dataclass(frozen=True)
-class Rma(Plan):
-    """A relational matrix operation node: op over one or two inputs."""
-
-    op: str
-    inputs: tuple[Plan, ...]
-    by: tuple[tuple[str, ...], ...]
-    alias: Optional[str]
-
-    def children(self):
-        return self.inputs
-
-
-@dataclass(frozen=True)
-class Filter(Plan):
-    child: Plan
-    predicate: ast.Expr
-
-    def children(self):
-        return (self.child,)
-
-
-@dataclass(frozen=True)
-class JoinPlan(Plan):
-    kind: str  # "inner", "left", "cross"
-    left: Plan
-    right: Plan
-    condition: Optional[ast.Expr] = None
-
-    def children(self):
-        return (self.left, self.right)
-
-
-@dataclass(frozen=True)
-class Project(Plan):
-    """Evaluate expressions into named output columns."""
-
-    child: Plan
-    items: tuple[ast.SelectItem, ...]
-
-    def children(self):
-        return (self.child,)
-
-
-@dataclass(frozen=True)
-class AggregateSpecNode:
-    func: str          # relational aggregate name ("sum", "avg", ...)
-    argument: ast.Expr | None  # None for count(*)
-    distinct: bool
-    out_name: str
-
-
-@dataclass(frozen=True)
-class Aggregate(Plan):
-    child: Plan
-    keys: tuple[ast.Expr, ...]
-    key_names: tuple[str, ...]
-    aggregates: tuple[AggregateSpecNode, ...]
-
-    def children(self):
-        return (self.child,)
-
-
-@dataclass(frozen=True)
-class Distinct(Plan):
-    child: Plan
-
-    def children(self):
-        return (self.child,)
-
-
-@dataclass(frozen=True)
-class Sort(Plan):
-    child: Plan
-    items: tuple[ast.OrderItem, ...]
-
-    def children(self):
-        return (self.child,)
-
-
-@dataclass(frozen=True)
-class Limit(Plan):
-    child: Plan
-    count: int
-    offset: int = 0
-
-    def children(self):
-        return (self.child,)
-
-
-@dataclass(frozen=True)
-class Prune(Plan):
-    """Advisory projection: keep only the named columns (added by the
-    optimizer below joins; unqualified names)."""
-
-    child: Plan
-    names: tuple[str, ...]
-
-    def children(self):
-        return (self.child,)
-
-
-# -- expression analysis -------------------------------------------------------
-
-def walk_expr(expr: ast.Expr) -> Iterator[ast.Expr]:
-    """Yield the expression and all sub-expressions."""
-    yield expr
-    if isinstance(expr, ast.BinaryOp):
-        yield from walk_expr(expr.left)
-        yield from walk_expr(expr.right)
-    elif isinstance(expr, ast.UnaryOp):
-        yield from walk_expr(expr.operand)
-    elif isinstance(expr, ast.FunctionCall):
-        for arg in expr.args:
-            yield from walk_expr(arg)
-    elif isinstance(expr, ast.IsNull):
-        yield from walk_expr(expr.operand)
-    elif isinstance(expr, ast.Between):
-        yield from walk_expr(expr.operand)
-        yield from walk_expr(expr.low)
-        yield from walk_expr(expr.high)
-    elif isinstance(expr, ast.InList):
-        yield from walk_expr(expr.operand)
-        for item in expr.items:
-            yield from walk_expr(item)
-    elif isinstance(expr, ast.CaseWhen):
-        for cond, value in expr.branches:
-            yield from walk_expr(cond)
-            yield from walk_expr(value)
-        if expr.otherwise is not None:
-            yield from walk_expr(expr.otherwise)
-
-
-def column_refs(expr: ast.Expr) -> list[ast.ColumnRef]:
-    return [e for e in walk_expr(expr) if isinstance(e, ast.ColumnRef)]
-
-
-def contains_aggregate(expr: ast.Expr) -> bool:
-    return any(isinstance(e, ast.FunctionCall)
-               and e.name in AGGREGATE_FUNCTIONS
-               for e in walk_expr(expr))
-
-
-def aggregate_calls(expr: ast.Expr) -> list[ast.FunctionCall]:
-    return [e for e in walk_expr(expr)
-            if isinstance(e, ast.FunctionCall)
-            and e.name in AGGREGATE_FUNCTIONS]
-
-
-def split_conjuncts(expr: ast.Expr) -> list[ast.Expr]:
-    """Break a predicate into AND-connected conjuncts."""
-    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
-        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
-    return [expr]
-
-
-def conjoin(conjuncts: list[ast.Expr]) -> Optional[ast.Expr]:
-    if not conjuncts:
-        return None
-    expr = conjuncts[0]
-    for part in conjuncts[1:]:
-        expr = ast.BinaryOp("AND", expr, part)
-    return expr
-
-
-def replace_expr(expr: ast.Expr, mapping: dict[ast.Expr, ast.Expr]) \
-        -> ast.Expr:
-    """Structurally replace sub-expressions (used to rewrite aggregates)."""
-    if expr in mapping:
-        return mapping[expr]
-    if isinstance(expr, ast.BinaryOp):
-        return ast.BinaryOp(expr.op, replace_expr(expr.left, mapping),
-                            replace_expr(expr.right, mapping))
-    if isinstance(expr, ast.UnaryOp):
-        return ast.UnaryOp(expr.op, replace_expr(expr.operand, mapping))
-    if isinstance(expr, ast.FunctionCall):
-        return ast.FunctionCall(
-            expr.name,
-            tuple(replace_expr(a, mapping) for a in expr.args),
-            expr.distinct)
-    if isinstance(expr, ast.IsNull):
-        return ast.IsNull(replace_expr(expr.operand, mapping), expr.negated)
-    if isinstance(expr, ast.Between):
-        return ast.Between(replace_expr(expr.operand, mapping),
-                           replace_expr(expr.low, mapping),
-                           replace_expr(expr.high, mapping), expr.negated)
-    if isinstance(expr, ast.InList):
-        return ast.InList(replace_expr(expr.operand, mapping),
-                          tuple(replace_expr(i, mapping)
-                                for i in expr.items), expr.negated)
-    if isinstance(expr, ast.CaseWhen):
-        return ast.CaseWhen(
-            tuple((replace_expr(c, mapping), replace_expr(v, mapping))
-                  for c, v in expr.branches),
-            replace_expr(expr.otherwise, mapping)
-            if expr.otherwise is not None else None)
-    return expr
-
-
 # -- plan construction ----------------------------------------------------------
-
-_ANON = 0
-
-
-def _fresh_alias(prefix: str) -> str:
-    global _ANON
-    _ANON += 1
-    return f"_{prefix}{_ANON}"
-
-
-def default_output_name(expr: ast.Expr, index: int) -> str:
-    if isinstance(expr, ast.ColumnRef):
-        return expr.name
-    if isinstance(expr, ast.FunctionCall):
-        return expr.name.lower()
-    return f"col{index}"
 
 
 def build_table_expr(node: ast.TableExpr) -> Plan:

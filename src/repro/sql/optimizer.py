@@ -1,360 +1,14 @@
-"""Rule-based logical optimizer.
+"""Compatibility shim: the logical optimizer moved to the shared plan layer.
 
-Three rewrites, mirroring what MonetDB's pipeline gives the paper's mixed
-workloads for free (and what R lacks, §8.6):
-
-1. **Predicate pushdown** — WHERE conjuncts move below joins to the deepest
-   input that can resolve all their columns;
-2. **Cross-to-inner conversion and greedy join ordering** — comma-style
-   FROM lists plus equality predicates become hash joins, ordered smallest
-   estimated input first;
-3. **Projection pruning** — scans keep only the columns the rest of the
-   plan references.
-
-Plans containing RMA operations with data-dependent output schemas
-(``tra``/``usv``/``opd``) are left untouched below the RMA node — their
-column names are only known at run time.
+Both the SQL session and the lazy builder optimize plans with
+:mod:`repro.plan.optimizer`; this module re-exports it so existing imports
+(``from repro.sql.optimizer import optimize``) keep working.
 """
 
-from __future__ import annotations
+from repro.plan.optimizer import (  # noqa: F401  (re-exported API)
+    _DYNAMIC_SCHEMA_OPS,
+    Optimizer,
+    optimize,
+)
 
-from dataclasses import replace
-from typing import Optional
-
-from repro.bat.catalog import Catalog
-from repro.errors import CatalogError
-from repro.opspec import OPS
-from repro.sql import ast, logical
-
-_DYNAMIC_SCHEMA_OPS = {name for name, spec in OPS.items()
-                       if "r1" == spec.shape_type[1]
-                       or "r2" == spec.shape_type[1]}
-
-
-def optimize(plan: logical.Plan, catalog: Catalog) -> logical.Plan:
-    """Apply all rewrite rules bottom-up."""
-    opt = Optimizer(catalog)
-    plan = opt.rewrite(plan)
-    # The root's visible output is fully described by its projections, so
-    # nothing beyond them is needed from below.
-    plan = opt.prune_columns(plan, set())
-    return plan
-
-
-class Optimizer:
-    def __init__(self, catalog: Catalog):
-        self.catalog = catalog
-
-    # -- schema inference -----------------------------------------------------
-
-    def output_names(self, plan: logical.Plan) -> Optional[set[tuple]]:
-        """(alias, name) pairs a plan produces, or None when unknown."""
-        if isinstance(plan, logical.Scan):
-            try:
-                relation = self.catalog.get(plan.table)
-            except CatalogError:
-                return None
-            return {(plan.alias, n) for n in relation.names}
-        if isinstance(plan, logical.SubqueryScan):
-            inner = self.visible_names(plan.plan)
-            if inner is None:
-                return None
-            return {(plan.alias, n) for _, n in inner}
-        if isinstance(plan, logical.Rma):
-            return self.rma_output_names(plan)
-        if isinstance(plan, logical.JoinPlan):
-            left = self.output_names(plan.left)
-            right = self.output_names(plan.right)
-            if left is None or right is None:
-                return None
-            return left | right
-        if isinstance(plan, (logical.Filter, logical.Distinct, logical.Sort,
-                             logical.Limit, logical.Prune)):
-            return self.output_names(plan.children()[0])
-        if isinstance(plan, logical.Project):
-            names = set()
-            for index, item in enumerate(plan.items):
-                if isinstance(item.expr, ast.Star):
-                    inner = self.output_names(plan.child)
-                    if inner is None:
-                        return None
-                    if item.expr.table is None:
-                        names |= {(None, n) for _, n in inner}
-                    else:
-                        names |= {(None, n) for a, n in inner
-                                  if a == item.expr.table}
-                    continue
-                names.add((None, item.alias
-                           or logical.default_output_name(item.expr, index)))
-            return names
-        if isinstance(plan, logical.Aggregate):
-            names = {(None, k) for k in plan.key_names}
-            for key in plan.keys:
-                if isinstance(key, ast.ColumnRef):
-                    names.add((key.table, key.name))
-            names |= {(None, s.out_name) for s in plan.aggregates}
-            return names
-        return None
-
-    def visible_names(self, plan: logical.Plan) -> Optional[set[tuple]]:
-        return self.output_names(plan)
-
-    def rma_output_names(self, plan: logical.Rma) -> Optional[set[tuple]]:
-        spec = OPS[plan.op]
-        if spec.shape_type[1] in ("r1", "r2"):
-            return None  # data-dependent column names (column cast)
-        input_names = []
-        for child in plan.inputs:
-            names = self.output_names(child)
-            if names is None:
-                return None
-            input_names.append({n for _, n in names})
-        out: set[tuple] = set()
-        x, y = spec.shape_type
-        if x == "r1":
-            out |= {(plan.alias, n) for n in plan.by[0]}
-        elif x == "r*":
-            out |= {(plan.alias, n) for n in plan.by[0] + plan.by[1]}
-        elif x in ("c1", "1"):
-            out.add((plan.alias, "C"))
-        if y in ("c1", "c*"):
-            out |= {(plan.alias, n) for n in input_names[0]
-                    if n not in plan.by[0]}
-        elif y == "c2":
-            out |= {(plan.alias, n) for n in input_names[1]
-                    if n not in plan.by[1]}
-        elif y == "1":
-            out.add((plan.alias, plan.op))
-        return out
-
-    # -- rule 1+2: pushdown and join rewriting -----------------------------------
-
-    def rewrite(self, plan: logical.Plan) -> logical.Plan:
-        if isinstance(plan, logical.Filter):
-            child = self.rewrite(plan.child)
-            conjuncts = logical.split_conjuncts(plan.predicate)
-            child, remaining = self.push_conjuncts(child, conjuncts)
-            predicate = logical.conjoin(remaining)
-            if predicate is None:
-                return child
-            return logical.Filter(child, predicate)
-        if isinstance(plan, logical.JoinPlan):
-            left = self.rewrite(plan.left)
-            right = self.rewrite(plan.right)
-            return logical.JoinPlan(plan.kind, left, right, plan.condition)
-        children = plan.children()
-        if not children:
-            return plan
-        rewritten = tuple(self.rewrite(c) for c in children)
-        return _with_children(plan, rewritten)
-
-    def push_conjuncts(self, plan: logical.Plan,
-                       conjuncts: list[ast.Expr]) \
-            -> tuple[logical.Plan, list[ast.Expr]]:
-        """Push filter conjuncts as deep as possible; returns the rewritten
-        plan and the conjuncts that could not be pushed."""
-        if not conjuncts:
-            return plan, []
-        if isinstance(plan, logical.JoinPlan) and plan.kind != "left":
-            left_names = self.output_names(plan.left)
-            right_names = self.output_names(plan.right)
-            push_left: list[ast.Expr] = []
-            push_right: list[ast.Expr] = []
-            join_conds: list[ast.Expr] = []
-            keep: list[ast.Expr] = []
-            for conjunct in conjuncts:
-                target = self._conjunct_target(conjunct, left_names,
-                                               right_names)
-                if target == "left":
-                    push_left.append(conjunct)
-                elif target == "right":
-                    push_right.append(conjunct)
-                elif target == "both" and self._is_equality(conjunct):
-                    join_conds.append(conjunct)
-                else:
-                    keep.append(conjunct)
-            left, rest_l = self.push_conjuncts(plan.left, push_left)
-            right, rest_r = self.push_conjuncts(plan.right, push_right)
-            keep = rest_l + rest_r + keep
-            condition = plan.condition
-            kind = plan.kind
-            if join_conds:
-                new_condition = logical.conjoin(
-                    ([condition] if condition is not None else [])
-                    + join_conds)
-                condition = new_condition
-                if kind == "cross":
-                    kind = "inner"
-            return logical.JoinPlan(kind, left, right, condition), keep
-        if isinstance(plan, logical.Filter):
-            child, rest = self.push_conjuncts(
-                plan.child, conjuncts
-                + logical.split_conjuncts(plan.predicate))
-            predicate = logical.conjoin(rest)
-            if predicate is None:
-                return child, []
-            return logical.Filter(child, predicate), []
-        if isinstance(plan, (logical.Scan, logical.SubqueryScan,
-                             logical.Rma)):
-            names = self.output_names(plan)
-            applicable = []
-            rest = []
-            for conjunct in conjuncts:
-                if names is not None and self._covers(conjunct, names):
-                    applicable.append(conjunct)
-                else:
-                    rest.append(conjunct)
-            predicate = logical.conjoin(applicable)
-            if predicate is not None:
-                return logical.Filter(plan, predicate), rest
-            return plan, rest
-        return plan, conjuncts
-
-    def _conjunct_target(self, conjunct: ast.Expr,
-                         left_names: Optional[set[tuple]],
-                         right_names: Optional[set[tuple]]) -> str:
-        if left_names is None or right_names is None:
-            return "unknown"
-        refs = logical.column_refs(conjunct)
-        if not refs:
-            return "unknown"
-        sides = set()
-        for ref in refs:
-            in_left = self._matches(ref, left_names)
-            in_right = self._matches(ref, right_names)
-            if in_left and in_right:
-                return "ambiguous"
-            if in_left:
-                sides.add("left")
-            elif in_right:
-                sides.add("right")
-            else:
-                return "unknown"
-        if sides == {"left"}:
-            return "left"
-        if sides == {"right"}:
-            return "right"
-        return "both"
-
-    @staticmethod
-    def _matches(ref: ast.ColumnRef, names: set[tuple]) -> bool:
-        for alias, name in names:
-            if name != ref.name:
-                continue
-            if ref.table is None or ref.table == alias:
-                return True
-        return False
-
-    def _covers(self, conjunct: ast.Expr, names: set[tuple]) -> bool:
-        return all(self._matches(ref, names)
-                   for ref in logical.column_refs(conjunct))
-
-    @staticmethod
-    def _is_equality(conjunct: ast.Expr) -> bool:
-        return isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="
-
-    # -- rule 3: projection pruning ------------------------------------------------
-
-    def prune_columns(self, plan: logical.Plan,
-                      needed: Optional[set[str]] = None) -> logical.Plan:
-        """Insert Prune nodes above scans keeping only referenced columns.
-
-        ``needed`` is a set of unqualified column names required above;
-        ``None`` means "everything" (e.g. below a SELECT * or an RMA input,
-        whose application schema is the complement of the order schema).
-        """
-        if isinstance(plan, logical.Project):
-            names: Optional[set[str]] = set()
-            for item in plan.items:
-                if isinstance(item.expr, ast.Star):
-                    names = None
-                    break
-                names.update(r.name for r in logical.column_refs(item.expr))
-            if names is not None and needed is not None:
-                # Nodes above the projection (ORDER BY, HAVING) may still
-                # reference source columns through hidden bindings.
-                names |= needed
-            elif needed is None:
-                names = None
-            return logical.Project(
-                self.prune_columns(plan.child, names), plan.items)
-        if isinstance(plan, logical.Filter):
-            if needed is not None:
-                needed = needed | {r.name for r in
-                                   logical.column_refs(plan.predicate)}
-            return logical.Filter(self.prune_columns(plan.child, needed),
-                                  plan.predicate)
-        if isinstance(plan, logical.JoinPlan):
-            child_needed = None
-            if needed is not None:
-                child_needed = set(needed)
-                if plan.condition is not None:
-                    child_needed |= {r.name for r in
-                                     logical.column_refs(plan.condition)}
-            return logical.JoinPlan(
-                plan.kind,
-                self.prune_columns(plan.left, child_needed),
-                self.prune_columns(plan.right, child_needed),
-                plan.condition)
-        if isinstance(plan, logical.Aggregate):
-            child_needed: Optional[set[str]] = set()
-            for key in plan.keys:
-                child_needed.update(r.name
-                                    for r in logical.column_refs(key))
-            for spec in plan.aggregates:
-                if spec.argument is not None:
-                    child_needed.update(
-                        r.name for r in logical.column_refs(spec.argument))
-            return logical.Aggregate(
-                self.prune_columns(plan.child, child_needed),
-                plan.keys, plan.key_names, plan.aggregates)
-        if isinstance(plan, logical.Scan):
-            if needed is None:
-                return plan
-            return logical.Prune(plan, tuple(sorted(needed)))
-        if isinstance(plan, logical.Rma):
-            # RMA consumes its whole input (order + application schema).
-            return logical.Rma(
-                plan.op,
-                tuple(self.prune_columns(c, None) for c in plan.inputs),
-                plan.by, plan.alias)
-        if isinstance(plan, (logical.Sort,)):
-            if needed is not None:
-                needed = needed | {
-                    r.name for item in plan.items
-                    for r in logical.column_refs(item.expr)}
-            return logical.Sort(self.prune_columns(plan.child, needed),
-                                plan.items)
-        children = plan.children()
-        if not children:
-            return plan
-        rewritten = tuple(self.prune_columns(c, needed) for c in children)
-        return _with_children(plan, rewritten)
-
-
-def _with_children(plan: logical.Plan,
-                   children: tuple[logical.Plan, ...]) -> logical.Plan:
-    """Clone a plan node with new children."""
-    if isinstance(plan, logical.SubqueryScan):
-        return logical.SubqueryScan(children[0], plan.alias)
-    if isinstance(plan, logical.Rma):
-        return logical.Rma(plan.op, children, plan.by, plan.alias)
-    if isinstance(plan, logical.Filter):
-        return logical.Filter(children[0], plan.predicate)
-    if isinstance(plan, logical.JoinPlan):
-        return logical.JoinPlan(plan.kind, children[0], children[1],
-                                plan.condition)
-    if isinstance(plan, logical.Project):
-        return logical.Project(children[0], plan.items)
-    if isinstance(plan, logical.Aggregate):
-        return logical.Aggregate(children[0], plan.keys, plan.key_names,
-                                 plan.aggregates)
-    if isinstance(plan, logical.Distinct):
-        return logical.Distinct(children[0])
-    if isinstance(plan, logical.Sort):
-        return logical.Sort(children[0], plan.items)
-    if isinstance(plan, logical.Limit):
-        return logical.Limit(children[0], plan.count, plan.offset)
-    if isinstance(plan, logical.Prune):
-        return logical.Prune(children[0], plan.names)
-    return plan
+__all__ = ["Optimizer", "optimize"]

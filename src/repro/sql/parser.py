@@ -73,7 +73,15 @@ class Parser:
 
     def parse_statement(self) -> ast.Statement:
         token = self.peek()
-        if token.is_keyword("SELECT"):
+        # EXPLAIN is a soft keyword, recognized only here: no statement can
+        # start with a bare identifier, so this never shadows a column or
+        # table named 'explain'.
+        if token.kind == "IDENT" and token.value.upper() == "EXPLAIN":
+            self.advance()
+            if not self.peek().is_keyword("SELECT"):
+                raise self.error("EXPLAIN supports SELECT statements only")
+            stmt: ast.Statement = ast.Explain(self.parse_select())
+        elif token.is_keyword("SELECT"):
             stmt = self.parse_select()
         elif token.is_keyword("CREATE"):
             stmt = self.parse_create()
@@ -82,7 +90,8 @@ class Parser:
         elif token.is_keyword("INSERT"):
             stmt = self.parse_insert()
         else:
-            raise self.error("expected SELECT, CREATE, DROP or INSERT")
+            raise self.error(
+                "expected SELECT, EXPLAIN, CREATE, DROP or INSERT")
         self.accept_symbol(";")
         if self.peek().kind != "EOF":
             raise self.error("unexpected trailing input")

@@ -8,6 +8,8 @@ from repro.bat.bat import DataType
 from repro.bat.catalog import Catalog
 from repro.core.config import RmaConfig
 from repro.errors import BindError, PlanError, SqlError
+from repro.plan.explain import explain_lines
+from repro.plan.physical import PhysicalInfo, plan_physical
 from repro.relational.relation import Relation
 from repro.relational.ops import union_all
 from repro.sql import ast, logical
@@ -63,6 +65,9 @@ class Session:
         statement = parse_sql(sql)
         if isinstance(statement, ast.Select):
             return self._run_select(statement)
+        if isinstance(statement, ast.Explain):
+            lines = self._explain_lines(statement.query)
+            return Relation.from_columns({"explain": lines})
         if isinstance(statement, ast.CreateTable):
             return self._run_create(statement)
         if isinstance(statement, ast.DropTable):
@@ -72,21 +77,48 @@ class Session:
             return self._run_insert(statement)
         raise SqlError(f"unsupported statement {statement!r}")
 
-    def plan(self, sql: str) -> logical.Plan:
-        """Parse and optimize without executing (for tests/EXPLAIN)."""
-        statement = parse_sql(sql)
-        if not isinstance(statement, ast.Select):
-            raise PlanError("only SELECT statements can be planned")
+    def _plan_select(self, statement: ast.Select) -> logical.Plan:
+        """AST -> shared plan IR, optimized per session settings.
+
+        The single entry point for plan construction: plan(), EXPLAIN and
+        execution all route through here, so they can never diverge.
+        """
         plan = logical.build_select(statement)
         if self.optimize_plans:
             plan = optimize(plan, self.catalog)
         return plan
 
+    def plan(self, sql: str) -> logical.Plan:
+        """Parse and optimize without executing (for tests/EXPLAIN)."""
+        statement = parse_sql(sql)
+        if isinstance(statement, ast.Explain):
+            statement = statement.query
+        if not isinstance(statement, ast.Select):
+            raise PlanError("only SELECT statements can be planned")
+        return self._plan_select(statement)
+
+    def physical_info(self, sql: str) -> PhysicalInfo:
+        """The physical planner's annotations for a statement."""
+        return plan_physical(self.plan(sql), self.catalog)
+
+    def explain(self, sql: str) -> str:
+        """The optimized plan with physical annotations, as text."""
+        statement = parse_sql(sql)
+        if isinstance(statement, ast.Explain):
+            statement = statement.query
+        if not isinstance(statement, ast.Select):
+            raise PlanError("only SELECT statements can be explained")
+        return "\n".join(self._explain_lines(statement))
+
+    def _explain_lines(self, statement: ast.Select) -> list[str]:
+        plan = self._plan_select(statement)
+        info = plan_physical(plan, self.catalog)
+        return explain_lines(plan, info)
+
     def _run_select(self, statement: ast.Select) -> Relation:
-        plan = logical.build_select(statement)
-        if self.optimize_plans:
-            plan = optimize(plan, self.catalog)
-        executor = Executor(self.catalog, self.config)
+        plan = self._plan_select(statement)
+        info = plan_physical(plan, self.catalog)
+        executor = Executor(self.catalog, self.config, physical=info)
         frame = executor.run(plan)
         return frame.to_plain_relation()
 

@@ -102,8 +102,8 @@ def engine_prepare(dataset: TripsDataset) -> Relation:
                                   "is_member", "distance", "duration"])
 
 
-def _rma_ols(prepared: Relation, config: RmaConfig) -> np.ndarray:
-    """beta = MMU(INV(CPD(A,A)), CPD(A,V)) as relational matrix ops."""
+def _ols_inputs(prepared: Relation) -> tuple[Relation, Relation]:
+    """Design relation A = [1, distance] and target V keyed by trip_id."""
     n = prepared.nrows
     # Attribute order (const, distance) matches the sorted order of the
     # context attribute C that cpd produces, so the row labels of the
@@ -116,6 +116,12 @@ def _rma_ols(prepared: Relation, config: RmaConfig) -> np.ndarray:
     v = Relation.from_columns({
         "trip_id": prepared.column("trip_id"),
         "duration": prepared.column("duration").cast(DataType.DBL)})
+    return a, v
+
+
+def _rma_ols(prepared: Relation, config: RmaConfig) -> np.ndarray:
+    """beta = MMU(INV(CPD(A,A)), CPD(A,V)) as relational matrix ops."""
+    a, v = _ols_inputs(prepared)
     xtx = execute_rma("cpd", a, "trip_id", a, "trip_id", config=config)
     xty = execute_rma("cpd", a, "trip_id", v, "trip_id", config=config)
     xtx_inv = execute_rma("inv", xtx, "C", config=config)
@@ -123,18 +129,46 @@ def _rma_ols(prepared: Relation, config: RmaConfig) -> np.ndarray:
     return beta.column("duration").tail.copy()
 
 
+def _rma_ols_lazy(prepared: Relation, config: RmaConfig) -> np.ndarray:
+    """The same OLS pipeline built on the shared plan layer.
+
+    One plan covers the whole ``MMU(INV(CPD(A,A)), CPD(A,V))`` chain, so
+    the executor sees all four operations at once: the order caches of the
+    intermediate relations stay warm across the chain, and repeated
+    subplans would be deduplicated (CSE).  Bit-identical to
+    :func:`_rma_ols` — the workload equivalence test asserts it.
+    """
+    from repro.plan.lazy import scan
+
+    a, v = _ols_inputs(prepared)
+    design = scan(a, name="a")
+    xtx = design.rma("cpd", by="trip_id", other=design, other_by="trip_id")
+    xty = design.rma("cpd", by="trip_id", other=scan(v, name="v"),
+                     other_by="trip_id")
+    beta = (xtx.rma("inv", by="C")
+            .rma("mmu", by="C", other=xty, other_by="C")
+            .collect(config=config))
+    return beta.column("duration").tail.copy()
+
+
 def run_rma(dataset: TripsDataset, backend: str = "mkl",
-            validate_keys: bool = False) -> WorkloadResult:
-    """RMA+ with the given kernel backend ('mkl' or 'bat')."""
+            validate_keys: bool = False,
+            lazy: bool = False) -> WorkloadResult:
+    """RMA+ with the given kernel backend ('mkl' or 'bat').
+
+    ``lazy=True`` runs the matrix part through the shared plan layer
+    (:mod:`repro.plan.lazy`) instead of eager per-operation execution.
+    """
     times = PhaseTimes()
     config = RmaConfig(policy=BackendPolicy(prefer=backend),
                        validate_keys=validate_keys)
     with times.measure("prep"):
         prepared = engine_prepare(dataset)
     with times.measure("matrix"):
-        beta = _rma_ols(prepared, config)
-    return WorkloadResult(f"RMA+{backend.upper()}", times, beta,
-                          {"rows": prepared.nrows})
+        ols = _rma_ols_lazy if lazy else _rma_ols
+        beta = ols(prepared, config)
+    label = f"RMA+{backend.upper()}" + ("+PLAN" if lazy else "")
+    return WorkloadResult(label, times, beta, {"rows": prepared.nrows})
 
 
 def run_aida(dataset: TripsDataset) -> WorkloadResult:
@@ -263,6 +297,7 @@ def run_trips(dataset: TripsDataset, systems: tuple[str, ...] =
     runners = {
         "rma-mkl": lambda: run_rma(dataset, "mkl"),
         "rma-bat": lambda: run_rma(dataset, "bat"),
+        "rma-plan": lambda: run_rma(dataset, "mkl", lazy=True),
         "aida": lambda: run_aida(dataset),
         "r": lambda: run_r(dataset),
         "madlib": lambda: run_madlib(dataset),

@@ -1,0 +1,220 @@
+"""Lazy builder equivalence: plan execution is bit-identical to eager.
+
+The lazy API must reproduce ``execute_rma`` exactly for every Table 2
+operation — not just numerically close: same names, same dtypes, same raw
+tails.  Relational operators (filter/select/join/sort/limit/distinct) are
+checked against their SQL/relational counterparts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bat.bat import DataType
+from repro.core.ops import execute_rma
+from repro.errors import PlanError
+from repro.opspec import OPS
+from repro.plan.lazy import col, lit, scan
+from repro.relational.relation import Relation
+
+
+def identical(a: Relation, b: Relation) -> bool:
+    if a.names != b.names:
+        return False
+    for name in a.names:
+        ca, cb = a.column(name), b.column(name)
+        if ca.dtype is not cb.dtype:
+            return False
+        if ca.dtype is DataType.DBL:
+            if not np.array_equal(ca.tail, cb.tail, equal_nan=True):
+                return False
+        elif list(ca.tail) != list(cb.tail):
+            return False
+    return True
+
+
+def keyed(matrix: np.ndarray, key: str = "key", prefix: str = "x",
+          shuffle_seed: int | None = 3) -> Relation:
+    n, k = matrix.shape
+    data = {key: [f"k{i:03d}" for i in range(n)]}
+    for j in range(k):
+        data[f"{prefix}{j}"] = matrix[:, j]
+    rel = Relation.from_columns(data)
+    if shuffle_seed is not None and n > 1:
+        rng = np.random.default_rng(shuffle_seed)
+        perm = rng.permutation(n).astype(np.int64)
+        rel = Relation(rel.schema, [c.fetch(perm) for c in rel.columns])
+    return rel
+
+
+RNG = np.random.default_rng(11)
+SQUARE = RNG.uniform(1.0, 9.0, (4, 4)) + 4.0 * np.eye(4)
+TALL = RNG.uniform(-5.0, 5.0, (6, 3))
+SPD = TALL.T @ TALL + 3.0 * np.eye(3)
+
+UNARY_INPUTS = {
+    "tra": SQUARE, "inv": SQUARE, "evc": SQUARE, "evl": SQUARE,
+    "det": SQUARE, "chf": SPD,
+    "qqr": TALL, "rqr": TALL, "dsv": TALL, "vsv": TALL, "usv": TALL,
+    "rnk": TALL,
+}
+
+
+class TestUnaryOps:
+    @pytest.mark.parametrize("op", sorted(UNARY_INPUTS))
+    def test_bit_identical(self, op):
+        rel = keyed(UNARY_INPUTS[op])
+        eager = execute_rma(op, rel, "key")
+        lazy = scan(rel).rma(op, by="key").collect()
+        assert identical(eager, lazy), op
+
+    def test_all_unary_ops_covered(self):
+        unary = {name for name, spec in OPS.items() if spec.arity == 1}
+        assert unary == set(UNARY_INPUTS)
+
+
+class TestBinaryOps:
+    def binary_case(self, op):
+        if op in ("add", "sub", "emu"):
+            r = keyed(RNG.uniform(0.0, 10.0, (5, 3)), key="k1")
+            s = keyed(RNG.uniform(0.0, 10.0, (5, 3)), key="k2",
+                      shuffle_seed=5)
+            return r, "k1", s, "k2"
+        if op == "mmu":
+            r = keyed(RNG.uniform(0.0, 5.0, (5, 3)), key="k1")
+            s = keyed(RNG.uniform(0.0, 5.0, (3, 4)), key="k2",
+                      shuffle_seed=5)
+            return r, "k1", s, "k2"
+        if op == "opd":
+            r = keyed(RNG.uniform(0.0, 5.0, (5, 3)), key="k1")
+            s = keyed(RNG.uniform(0.0, 5.0, (4, 3)), key="k2",
+                      shuffle_seed=5)
+            return r, "k1", s, "k2"
+        if op in ("cpd", "sol"):
+            r = keyed(RNG.uniform(0.0, 5.0, (6, 3)), key="k1")
+            s = keyed(RNG.uniform(0.0, 5.0, (6, 2)), key="k2",
+                      shuffle_seed=5)
+            return r, "k1", s, "k2"
+        raise AssertionError(op)
+
+    @pytest.mark.parametrize("op", sorted(
+        name for name, spec in OPS.items() if spec.arity == 2))
+    def test_bit_identical(self, op):
+        r, by, s, s_by = self.binary_case(op)
+        eager = execute_rma(op, r, by, s, s_by)
+        lazy = scan(r).rma(op, by=by, other=scan(s),
+                           other_by=s_by).collect()
+        assert identical(eager, lazy), op
+
+    def test_other_accepts_bare_relation(self):
+        r, by, s, s_by = self.binary_case("add")
+        eager = execute_rma("add", r, by, s, s_by)
+        lazy = scan(r).rma("add", by=by, other=s, other_by=s_by).collect()
+        assert identical(eager, lazy)
+
+    def test_arity_validation(self):
+        r, by, s, s_by = self.binary_case("add")
+        with pytest.raises(PlanError):
+            scan(r).rma("add", by=by)
+        with pytest.raises(PlanError):
+            scan(r).rma("inv", by=by, other=s, other_by=s_by)
+
+
+class TestChains:
+    def test_ols_chain_matches_eager(self):
+        n = 40
+        rng = np.random.default_rng(4)
+        a = Relation.from_columns({
+            "id": np.arange(n, dtype=np.int64),
+            "const": np.ones(n),
+            "x": rng.uniform(0.0, 10.0, n)})
+        v = Relation.from_columns({
+            "id": np.arange(n, dtype=np.int64),
+            "y": rng.uniform(0.0, 100.0, n)})
+        xtx = execute_rma("cpd", a, "id", a, "id")
+        xty = execute_rma("cpd", a, "id", v, "id")
+        eager = execute_rma("mmu", execute_rma("inv", xtx, "C"), "C",
+                            xty, "C")
+
+        design = scan(a)
+        lazy_xtx = design.rma("cpd", by="id", other=design, other_by="id")
+        lazy_xty = design.rma("cpd", by="id", other=scan(v), other_by="id")
+        lazy = (lazy_xtx.rma("inv", by="C")
+                .rma("mmu", by="C", other=lazy_xty, other_by="C")
+                .collect())
+        assert identical(eager, lazy)
+
+    def test_collect_without_cse_matches(self):
+        rel = keyed(SQUARE)
+        frame = scan(rel).rma("inv", by="key")
+        pipe = frame.rma("mmu", by="key", other=frame, other_by="key")
+        assert identical(pipe.collect(cse=True), pipe.collect(cse=False))
+        assert identical(pipe.collect(optimize=False), pipe.collect())
+
+
+class TestRelationalOperators:
+    @pytest.fixture
+    def rel(self):
+        return Relation.from_columns({
+            "id": np.array([3, 1, 2, 5, 4], dtype=np.int64),
+            "grp": ["b", "a", "a", "c", "b"],
+            "val": [1.5, 2.5, 0.5, 4.0, 3.0]})
+
+    def test_scan_passthrough(self, rel):
+        assert scan(rel).collect() is rel
+
+    def test_filter(self, rel):
+        out = scan(rel).filter(col("val") > 1.0).collect()
+        assert out.to_rows() == [row for row in rel.to_rows()
+                                 if row[2] > 1.0]
+
+    def test_filter_compound(self, rel):
+        out = scan(rel).filter((col("val") > lit(1.0))
+                               & (col("grp") == "b")).collect()
+        assert out.to_rows() == [(3, "b", 1.5), (4, "b", 3.0)]
+
+    def test_select_names_and_exprs(self, rel):
+        out = scan(rel).select("id", (col("val") * 2).alias("dbl")) \
+            .collect()
+        assert out.names == ["id", "dbl"]
+        assert out.column("dbl").python_values() == \
+            [v * 2 for v in rel.column("val").python_values()]
+
+    def test_sort_limit(self, rel):
+        out = scan(rel).sort("id").limit(2).collect()
+        assert [r[0] for r in out.to_rows()] == [1, 2]
+        out = scan(rel).sort("id", descending=True).limit(1).collect()
+        assert out.to_rows()[0][0] == 5
+
+    def test_distinct(self, rel):
+        out = scan(rel).select("grp").distinct().collect()
+        assert sorted(v for v in out.column("grp").python_values()) == \
+            ["a", "b", "c"]
+
+    def test_join(self, rel):
+        other = Relation.from_columns({
+            "key": np.array([1, 2, 3], dtype=np.int64),
+            "label": ["one", "two", "three"]})
+        out = (scan(rel, name="l")
+               .join(scan(other, name="r"),
+                     on=col("id", "l") == col("key", "r"))
+               .collect())
+        assert sorted(out.column("label").python_values()) == \
+            ["one", "three", "two"]
+
+    def test_explain_mentions_nodes(self, rel):
+        text = (scan(rel).rma("rnk", by="id")
+                .filter(col("rnk") >= 0).explain())
+        assert "Rma RNK" in text
+        assert "RelScan" in text
+
+    def test_interior_select_prunes_scan(self, rel):
+        pipe = scan(rel).select("id", "val").sort("id")
+        text = pipe.explain()
+        assert "Prune [id, val]" in text
+        out = pipe.collect()
+        assert out.names == ["id", "val"]
+        assert [r[0] for r in out.to_rows()] == [1, 2, 3, 4, 5]
+
+    def test_non_project_root_keeps_all_columns(self, rel):
+        out = scan(rel).filter(col("val") > 1.0).collect()
+        assert out.names == rel.names

@@ -1,0 +1,127 @@
+"""Lazy-plan equivalence for the four paper workloads' matrix pipelines.
+
+Each workload's matrix part is rebuilt on the lazy API and must be
+bit-identical (same raw tails) to the eager per-operation execution the
+runners use.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RmaConfig
+from repro.core.ops import execute_rma
+from repro.data.bixi import generate_numeric_trips, generate_stations, \
+    generate_trips
+from repro.data.dblp import generate_publications
+from repro.linalg.policy import BackendPolicy
+from repro.plan.lazy import scan
+from repro.workloads.journeys_mlr import JourneysDataset, _design_names, \
+    _rma_mlr
+from repro.workloads.journeys_mlr import engine_prepare as prepare_journeys
+from repro.workloads.trip_count import make_dataset
+from repro.workloads.trips_olr import TripsDataset, _ols_inputs, _rma_ols, \
+    _rma_ols_lazy
+from repro.workloads.trips_olr import engine_prepare as prepare_trips
+from repro.workloads.trips_olr import run_rma as run_trips_rma
+
+
+@pytest.fixture(scope="module")
+def stations():
+    return generate_stations(20, seed=1)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return RmaConfig(policy=BackendPolicy(prefer="mkl"),
+                     validate_keys=False)
+
+
+class TestTripsOlr:
+    def test_lazy_matches_eager(self, stations, config):
+        trips = generate_trips(3_000, stations, seed=2)
+        dataset = TripsDataset(trips, stations, 2014, 2017, min_count=5)
+        prepared = prepare_trips(dataset)
+        eager = _rma_ols(prepared, config)
+        lazy = _rma_ols_lazy(prepared, config)
+        assert np.array_equal(eager, lazy)
+
+    def test_runner_agrees(self, stations):
+        trips = generate_trips(3_000, stations, seed=2)
+        dataset = TripsDataset(trips, stations, 2014, 2017, min_count=5)
+        eager = run_trips_rma(dataset)
+        lazy = run_trips_rma(dataset, lazy=True)
+        assert lazy.system == "RMA+MKL+PLAN"
+        assert np.array_equal(np.asarray(eager.signature),
+                              np.asarray(lazy.signature))
+
+
+class TestJourneysMlr:
+    def test_lazy_matches_eager(self, stations, config):
+        trips = generate_numeric_trips(4_000, stations, seed=3)
+        dataset = JourneysDataset(trips, stations, n_legs=2, min_count=10)
+        prepared = prepare_journeys(dataset)
+        names = _design_names(dataset)
+        eager = _rma_mlr(prepared, names, config)
+
+        from repro.bat.bat import BAT, DataType
+        from repro.relational.relation import Relation
+        n = prepared.nrows
+        columns = {"journey_id": prepared.column("journey_id"),
+                   "const": BAT(DataType.DBL, np.ones(n))}
+        for name in names:
+            columns[name] = prepared.column(name)
+        a = Relation.from_columns(columns)
+        v = Relation.from_columns({
+            "journey_id": prepared.column("journey_id"),
+            "y": prepared.column("total_duration")})
+        design = scan(a)
+        xtx = design.rma("cpd", by="journey_id", other=design,
+                         other_by="journey_id")
+        xty = design.rma("cpd", by="journey_id", other=scan(v),
+                         other_by="journey_id")
+        beta = (xtx.rma("inv", by="C")
+                .rma("mmu", by="C", other=xty, other_by="C")
+                .collect(config=config))
+        assert np.array_equal(eager, beta.column("y").tail)
+
+
+class TestConferencesCov:
+    def test_lazy_cross_product_matches(self, config):
+        publications = generate_publications(400, 10)
+        eager = execute_rma("cpd", publications, "author",
+                            publications, "author", config=config)
+        frame = scan(publications)
+        lazy = frame.rma("cpd", by="author", other=frame,
+                         other_by="author").collect(config=config)
+        assert eager.names == lazy.names
+        for name in eager.names[1:]:
+            assert np.array_equal(eager.column(name).tail,
+                                  lazy.column(name).tail)
+        assert list(eager.column("C").tail) == list(lazy.column("C").tail)
+
+
+class TestTripCountAdd:
+    def test_lazy_add_matches(self):
+        dataset = make_dataset(2_000)
+        config = RmaConfig(policy=BackendPolicy(prefer="auto"),
+                           validate_keys=False)
+        eager = execute_rma("add", dataset.year1, dataset.key1,
+                            dataset.year2, dataset.key2, config=config)
+        lazy = (scan(dataset.year1)
+                .rma("add", by=dataset.key1, other=scan(dataset.year2),
+                     other_by=dataset.key2)
+                .collect(config=config))
+        assert eager.names == lazy.names
+        for name in eager.names:
+            assert np.array_equal(eager.column(name).tail,
+                                  lazy.column(name).tail)
+
+    def test_derived_result_starts_warm(self):
+        dataset = make_dataset(500)
+        result = (scan(dataset.year1)
+                  .rma("add", by=dataset.key1, other=scan(dataset.year2),
+                       other_by=dataset.key2)
+                  .collect())
+        info = result.cached_order_info((dataset.key1,))
+        assert info is not None
+        assert info.known_positions is not None
