@@ -54,10 +54,13 @@ REPEATS = 5
 
 def _config(optimized: bool) -> RmaConfig:
     # validate_keys on: re-validating derived relations is part of what the
-    # warm order cache amortizes.
+    # warm order cache amortizes.  Element-wise fusion (PR 3) is pinned off
+    # in both modes — this ablation isolates CSE + order seeding alone;
+    # bench_ablation_fusion.py measures the fused pipeline.
     return RmaConfig(policy=BackendPolicy(prefer="mkl"),
                      validate_keys=True,
-                     seed_result_orders=optimized)
+                     seed_result_orders=optimized,
+                     fuse_elementwise=False)
 
 
 def _shuffled(relation: Relation, seed: int) -> Relation:

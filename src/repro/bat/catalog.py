@@ -2,6 +2,15 @@
 
 A minimal database catalog: case-insensitive table names mapped to relations.
 The SQL session layer and the examples use it as "the database".
+
+Every mutation bumps a monotone **catalog version** and stamps the affected
+table with it.  Relations themselves are immutable — a table "changes" only
+by being rebound to a new relation — so a table's version number uniquely
+identifies its current contents.  The session-scoped plan/result cache
+(:mod:`repro.plan.cache`) stamps cached subplan results with the versions
+of the tables they scan and revalidates on lookup: any
+``CREATE``/``INSERT``/``register``/``DROP`` invalidates exactly the entries
+that read the mutated table.
 """
 
 from __future__ import annotations
@@ -17,6 +26,8 @@ class Catalog:
     def __init__(self):
         self._tables: dict[str, Any] = {}
         self._display_names: dict[str, str] = {}
+        self._versions: dict[str, int] = {}
+        self._version_counter = 0
 
     @staticmethod
     def _key(name: str) -> str:
@@ -34,6 +45,8 @@ class Catalog:
             raise CatalogError(f"table {name!r} already exists")
         self._tables[key] = relation
         self._display_names[key] = name
+        self._version_counter += 1
+        self._versions[key] = self._version_counter
 
     def drop(self, name: str, if_exists: bool = False) -> None:
         key = self._key(name)
@@ -43,6 +56,17 @@ class Catalog:
             raise CatalogError(f"table {name!r} does not exist")
         del self._tables[key]
         del self._display_names[key]
+        del self._versions[key]
+        self._version_counter += 1
+
+    @property
+    def version(self) -> int:
+        """Monotone counter, bumped by every catalog mutation."""
+        return self._version_counter
+
+    def table_version(self, name: str) -> int | None:
+        """The version a table was last (re)bound at; None if absent."""
+        return self._versions.get(self._key(name))
 
     def get(self, name: str) -> Any:
         key = self._key(name)

@@ -39,7 +39,10 @@ from repro.core.algebra import (
     rma_operation,
     rnk,
     rqr,
+    sadd,
+    smul,
     sol,
+    ssub,
     sub,
     tra,
     usv,
@@ -59,5 +62,6 @@ __all__ = [
     "rma_operation",
     "add", "sub", "emu", "mmu", "opd", "cpd", "tra", "sol", "inv",
     "evc", "evl", "qqr", "rqr", "dsv", "usv", "vsv", "det", "rnk", "chf",
+    "sadd", "ssub", "smul",
     "row_origin", "column_origin", "verify_origins",
 ]

@@ -39,9 +39,10 @@ By = str | Sequence[str]
 
 def rma_operation(name: str, r: Relation, by: By,
                   s: Relation | None = None, s_by: By | None = None,
-                  config: RmaConfig | None = None) -> Relation:
-    """Run an operation by name (used by the SQL executor)."""
-    return execute_rma(name, r, by, s, s_by, config)
+                  config: RmaConfig | None = None,
+                  scalar: float | None = None) -> Relation:
+    """Run an operation by name (used by the plan executor)."""
+    return execute_rma(name, r, by, s, s_by, config, scalar=scalar)
 
 
 # -- element-wise (shape type (r*, c*)) -------------------------------------
@@ -67,6 +68,31 @@ def emu(r: Relation, by: By, s: Relation, s_by: By,
         config: RmaConfig | None = None) -> Relation:
     """Element-wise multiplication over relations (see :func:`add`)."""
     return execute_rma("emu", r, by, s, s_by, config)
+
+
+# -- scalar variants (kernel-program layer, not part of Table 2) ---------------
+
+def sadd(r: Relation, by: By, value: float,
+         config: RmaConfig | None = None) -> Relation:
+    """Add a constant to every application value: ``sadd_{U}(r, c)``.
+
+    Result schema is ``U ∘ U-bar`` with rows in ``r``'s storage order (the
+    order part is attached verbatim).  Inside lazy pipelines scalar steps
+    fuse into the surrounding element-wise chain as a single kernel step.
+    """
+    return execute_rma("sadd", r, by, config=config, scalar=value)
+
+
+def ssub(r: Relation, by: By, value: float,
+         config: RmaConfig | None = None) -> Relation:
+    """Subtract a constant from every application value (see :func:`sadd`)."""
+    return execute_rma("ssub", r, by, config=config, scalar=value)
+
+
+def smul(r: Relation, by: By, value: float,
+         config: RmaConfig | None = None) -> Relation:
+    """Multiply every application value by a constant (see :func:`sadd`)."""
+    return execute_rma("smul", r, by, config=config, scalar=value)
 
 
 # -- products ----------------------------------------------------------------

@@ -33,6 +33,12 @@ class RmaConfig:
       derived relations skip re-sorting.  On by default; the plan-layer
       ablation (``benchmarks/bench_ablation_plan.py``) disables it for its
       baseline.
+    * ``fuse_elementwise`` — let the plan optimizer collapse chains of
+      relative-class element-wise operations (``add``/``sub``/``emu`` and
+      the scalar variants) into one :class:`~repro.plan.nodes.FusedRma`
+      node, executed as a single prepare/align/kernel-program/merge pass
+      with all intermediate relations elided.  On by default;
+      ``benchmarks/bench_ablation_fusion.py`` measures the ablation.
     """
 
     policy: BackendPolicy = field(default_factory=BackendPolicy)
@@ -40,6 +46,23 @@ class RmaConfig:
     validate_keys: bool = True
     use_properties: bool = True
     seed_result_orders: bool = True
+    fuse_elementwise: bool = True
+
+    def cache_token(self) -> tuple:
+        """Value identity for plan/result caches.
+
+        Results and optimized plans depend on the configuration, so cache
+        entries are stamped with this token and revalidated on lookup.
+        The token is built from *values*, not object identity: it covers
+        every semantic input (all flags plus the policy's type and
+        decision inputs), so in-place mutation is caught while
+        equal-valued configs — e.g. a fresh ``RmaConfig()`` per
+        ``collect(cache=...)`` call — keep hitting.
+        """
+        return (self.optimize_sorting, self.validate_keys,
+                self.use_properties, self.seed_result_orders,
+                self.fuse_elementwise, type(self.policy).__qualname__,
+                self.policy.prefer, self.policy.memory_limit_bytes)
 
 
 _DEFAULT = RmaConfig()

@@ -250,6 +250,96 @@ def prepare_binary(r: Relation, r_by: str | Sequence[str], s: Relation,
     return prepared_r, prepared_s
 
 
+class FusionFallback(Exception):
+    """Internal: fused-execution preconditions do not hold.
+
+    Raised by :func:`prepare_fused` (and callers) when a fused element-wise
+    chain cannot be executed as one pass — the executor then replays the
+    chain step by step, which either produces the identical unfused result
+    or raises the exact error the unfused pipeline would have raised.
+    Never user-visible.
+    """
+
+
+def prepare_fused(relations: Sequence[Relation],
+                  bys: Sequence[Sequence[str]],
+                  config: RmaConfig) -> list[PreparedInput]:
+    """Prepare all leaves of a fused element-wise chain in one pass.
+
+    Every leaf is split into order and application part and aligned into the
+    *first* leaf's storage order.  Because each chain step keeps its first
+    argument's storage order (RELATIVE class) and each intermediate's sort
+    by its combined order schema equals its first leaf's sort by its own
+    order schema (keyed order schemas: a stable lexicographic sort never
+    reaches the tie-breakers), the alignment of leaf ``i`` composes to the
+    single permutation ``positions_i[ranks_0]`` — the same relative-sorting
+    rule :func:`prepare_binary` applies per step, collapsed over the chain.
+
+    Raises :class:`FusionFallback` when any precondition cannot be
+    established cheaply:
+
+    * the per-relation order cache is unavailable (property layer off),
+    * cardinalities or application-schema widths disagree,
+    * order schemas overlap or contain unknown/non-numeric splits,
+    * a leaf's order schema is not a verified key (with duplicate keys the
+      per-step sorts are not derivable from the leaf sorts, so only the
+      step-by-step path is faithful).
+    """
+    if not (config.use_properties and properties_enabled()
+            and config.optimize_sorting):
+        raise FusionFallback("property layer or sorting optimization off")
+    if not relations or len(relations) != len(bys):
+        raise FusionFallback("malformed fused chain")
+    n = relations[0].nrows
+    seen: set[str] = set()
+    splits: list[tuple[list[str], list[str]]] = []
+    for relation, by in zip(relations, bys):
+        if relation.nrows != n:
+            raise FusionFallback("cardinality mismatch")
+        order_names = list(by)
+        if not order_names:
+            raise FusionFallback("empty order schema")
+        for name in order_names:
+            if name in seen or name not in relation.schema:
+                raise FusionFallback("order schema overlap or unknown")
+            seen.add(name)
+        app_names = relation.schema.complement(order_names)
+        if not app_names:
+            raise FusionFallback("empty application schema")
+        if any(not relation.schema.dtype(a).is_numeric for a in app_names):
+            raise FusionFallback("non-numeric application attribute")
+        splits.append((order_names, app_names))
+    width = len(splits[0][1])
+    if any(len(app) != width for _, app in splits):
+        raise FusionFallback("application schema widths differ")
+
+    infos = []
+    for relation, (order_names, _) in zip(relations, splits):
+        info = relation.order_info(order_names)
+        if not info.is_key:
+            raise FusionFallback("order schema is not a key")
+        infos.append(info)
+
+    prepared: list[PreparedInput] = []
+    ranks = infos[0].ranks if len(relations) > 1 else None
+    for i, (relation, (order_names, app_names)) in enumerate(
+            zip(relations, splits)):
+        if i == 0:
+            order_bats = relation.bats(order_names)
+            app_columns = [relation.column(a).as_float()
+                           for a in app_names]
+        else:
+            aligned = infos[i].positions[ranks]
+            order_bats = [bat.fetch(aligned, positions_key=True)
+                          for bat in relation.bats(order_names)]
+            app_columns = [relation.column(a).as_float()[aligned]
+                          for a in app_names]
+        prepared.append(PreparedInput(
+            relation, order_names, app_names, order_bats, app_columns,
+            sorted_storage=False, validated=True))
+    return prepared
+
+
 def _check_binary_compat(r: Relation, r_order: list[str], r_app: list[str],
                          s: Relation, s_order: list[str], s_app: list[str],
                          spec: OpSpec) -> None:

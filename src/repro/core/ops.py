@@ -1,9 +1,22 @@
 """Execution of relational matrix operations (paper Table 2 / Alg. 1).
 
-``execute_rma`` runs the full pipeline: split each argument into order and
-application parts, establish the row order (:mod:`repro.core.context`),
-compute the base result with the backend chosen by the policy, and merge
-base result and morphed contextual information into the result relation.
+Execution is an explicit three-stage pipeline:
+
+* **prepare** (:func:`prepare_stage`, delegating to
+  :mod:`repro.core.context`) — split each argument into order and
+  application part and establish the row order the kernel needs;
+* **kernel** (:func:`kernel_stage`) — run a *kernel program*
+  (:class:`repro.linalg.kernels.KernelProgram`) over the prepared
+  application columns.  A plain operation is the one-step program; a fused
+  element-wise chain is a multi-step program over shared prepared inputs
+  with every intermediate relation elided (:func:`execute_fused`);
+* **merge** (:func:`merge_result` / :func:`merge_fused`) — attach the
+  morphed contextual information to the base result and pre-warm the
+  result's order caches.
+
+``execute_rma`` composes the three stages for one operation, exactly as the
+monolithic implementation did; ``execute_fused`` composes them once for a
+whole chain.
 """
 
 from __future__ import annotations
@@ -17,12 +30,15 @@ from repro.bat.properties import properties_enabled
 from repro.core.config import RmaConfig, default_config
 from repro.core.constructors import gamma, schema_cast
 from repro.core.context import (
+    FusionFallback,
     PreparedInput,
     prepare_binary,
+    prepare_fused,
     prepare_unary,
     sorted_order_values,
 )
 from repro.errors import RmaError
+from repro.linalg.kernels import KernelProgram, KernelStep, run_program
 from repro.linalg.matrix import Columns
 from repro.opspec import OpSpec, spec_of
 from repro.relational.relation import Relation
@@ -31,40 +47,77 @@ CONTEXT_ATTRIBUTE = "C"
 """Name of the synthesized context attribute (paper Table 2)."""
 
 
+def prepare_stage(spec: OpSpec, r: Relation, by: str | Sequence[str],
+                  s: Relation | None, s_by: str | Sequence[str] | None,
+                  config: RmaConfig) \
+        -> tuple[PreparedInput, PreparedInput | None]:
+    """Stage 1: split/sort/morph the argument relations (paper Alg. 1)."""
+    if spec.arity == 2:
+        if s is None or s_by is None:
+            raise RmaError(f"{spec.name} is binary: supply s and s_by")
+        return prepare_binary(r, by, s, s_by, spec, config)
+    if s is not None or s_by is not None:
+        raise RmaError(f"{spec.name} is unary: s/s_by are not accepted")
+    return prepare_unary(r, by, spec, config), None
+
+
+def kernel_stage(program: KernelProgram, inputs: Sequence[Columns],
+                 config: RmaConfig) -> Columns:
+    """Stage 2: run a kernel program over prepared application columns."""
+    return run_program(program, inputs, config.policy)
+
+
 def execute_rma(name: str, r: Relation, by: str | Sequence[str],
                 s: Relation | None = None,
                 s_by: str | Sequence[str] | None = None,
-                config: RmaConfig | None = None) -> Relation:
+                config: RmaConfig | None = None,
+                scalar: float | None = None) -> Relation:
     """Run relational matrix operation ``name`` and return the result.
 
-    ``by`` (and ``s_by`` for binary operations) are the order schemas.
+    ``by`` (and ``s_by`` for binary operations) are the order schemas;
+    ``scalar`` is the constant of the scalar variants (``sadd``/``ssub``/
+    ``smul``) and is rejected for every other operation.
     """
     spec = spec_of(name)
     config = config or default_config()
-    if spec.arity == 2:
-        if s is None or s_by is None:
-            raise RmaError(f"{name} is binary: supply s and s_by")
-        prepared_r, prepared_s = prepare_binary(r, by, s, s_by, spec, config)
-        backend = config.policy.choose(name, prepared_r.shape,
-                                       prepared_s.shape)
-        a_cols = prepared_r.app_columns
-        b_cols = prepared_s.app_columns
-        if name == "cpd" and _same_columns(a_cols, b_cols):
-            b_cols = a_cols  # enable the symmetric (dsyrk-style) fast path
-        base = backend.compute(name, a_cols, b_cols)
-    else:
-        if s is not None or s_by is not None:
-            raise RmaError(f"{name} is unary: s/s_by are not accepted")
-        prepared_r = prepare_unary(r, by, spec, config)
-        prepared_s = None
-        backend = config.policy.choose(name, prepared_r.shape)
-        base = backend.compute(name, prepared_r.app_columns)
+    if spec.scalar and scalar is None:
+        raise RmaError(f"{name} requires a scalar value")
+    if not spec.scalar and scalar is not None:
+        raise RmaError(f"{name} does not accept a scalar value")
+    prepared_r, prepared_s = prepare_stage(spec, r, by, s, s_by, config)
+    program = KernelProgram.single(spec.name, binary=prepared_s is not None,
+                                   scalar=scalar)
+    inputs = [prepared_r.app_columns]
+    if prepared_s is not None:
+        inputs.append(prepared_s.app_columns)
+    base = kernel_stage(program, inputs, config)
     return merge_result(spec, prepared_r, prepared_s, base,
                         seed_orders=config.seed_result_orders)
 
 
-def _same_columns(a: Columns, b: Columns) -> bool:
-    return len(a) == len(b) and all(x is y for x, y in zip(a, b))
+def execute_fused(steps: Sequence[KernelStep],
+                  relations: Sequence[Relation],
+                  bys: Sequence[Sequence[str]],
+                  config: RmaConfig | None = None) -> Relation:
+    """Run a fused element-wise chain as one prepare/kernel/merge pass.
+
+    ``steps`` reference slots ``0 .. len(relations) - 1`` (the chain's leaf
+    inputs, each split by its order schema in ``bys``) and
+    ``len(relations) + j`` (the result of step ``j``).  All leaves are
+    aligned into the first leaf's storage order by the prepare stage, the
+    kernel program runs over the aligned application columns, and a single
+    merge attaches every leaf's order part — bit-identical to executing the
+    chain operation by operation, with the intermediate relations elided.
+
+    Raises :class:`repro.core.context.FusionFallback` when the fused
+    preconditions do not hold; callers then replay the chain unfused.
+    """
+    config = config or default_config()
+    prepared = prepare_fused(relations, bys, config)
+    program = KernelProgram(len(prepared), tuple(steps))
+    base = kernel_stage(program, [p.app_columns for p in prepared], config)
+    return merge_fused(prepared, base,
+                       seed_orders=config.seed_result_orders)
 
 
 def merge_result(spec: OpSpec, r: PreparedInput,
@@ -129,6 +182,54 @@ def merge_result(spec: OpSpec, r: PreparedInput,
     result = gamma(columns, names)
     if seed_orders:
         _seed_result_order(result, spec, r, s)
+    return result
+
+
+def merge_fused(prepared: Sequence[PreparedInput], base: Columns,
+                seed_orders: bool = True) -> Relation:
+    """Merge step of a fused chain: all order parts plus the base result.
+
+    The result schema is ``U1 ∘ U2 ∘ ... ∘ Uk ∘ U1-bar`` — exactly what the
+    last step of the unfused chain produces (each step contributes its
+    second argument's order part; base-result names come from the first
+    leaf's application schema).
+
+    Order-cache seeding mirrors the unfused final merge: the first leaf's
+    cached :class:`OrderInfo` is shared for ``U1``, and — because every
+    leaf's order schema was verified to be a key by the prepare stage — the
+    first leaf's sort positions are the result's sort by every aligned
+    schema ``Ui`` and by every combined prefix ``U1 ∘ ... ∘ Ui``.
+    """
+    first = prepared[0]
+    names: list[str] = []
+    columns: list[BAT] = []
+    for p in prepared:
+        names += p.order_names
+        columns += p.order_bats
+    base_names = list(first.app_names)
+    if len(base_names) != len(base):
+        raise RmaError(
+            f"fused chain: base result has {len(base)} columns but "
+            f"{len(base_names)} names were derived")
+    names += base_names
+    columns += [BAT(DataType.DBL, np.asarray(col, dtype=np.float64))
+                for col in base]
+    result = gamma(columns, names)
+    if seed_orders and properties_enabled():
+        n = result.nrows
+        _seed_order_part(result, first, n)
+        info = first.relation.cached_order_info(tuple(first.order_names))
+        positions = info.known_positions if info is not None else None
+        combined = tuple(first.order_names)
+        for p in prepared[1:]:
+            key = tuple(p.order_names)
+            combined = combined + key
+            if positions is not None:
+                result.seed_order(key, positions=positions, is_key=True)
+                result.seed_order(combined, positions=positions,
+                                  is_key=True)
+            if len(key) == 1:
+                result.column(key[0])._seed_props(tkey=True)
     return result
 
 

@@ -1,0 +1,173 @@
+"""Element-wise kernel registry and kernel programs.
+
+This module is the *kernel stage* of the staged RMA execution pipeline
+(prepare → kernel → merge, see :mod:`repro.core.ops`).  Instead of a single
+operation, the kernel stage executes a :class:`KernelProgram`: a sequence of
+:class:`KernelStep`\\ s over shared prepared inputs, where each step reads
+its operands from numbered *slots* (prepared inputs first, then prior step
+results) and appends its own result.  A plain RMA is the one-step program;
+a fused element-wise chain (:class:`repro.plan.nodes.FusedRma`) is a
+multi-step program over the chain's leaf inputs with every intermediate
+relation elided.
+
+The registry maps operation names to vectorized ndarray kernels:
+
+* ``add``/``sub``/``emu`` dispatch through the backend policy exactly like
+  the monolithic path did (BAT kernels for linear operations, including the
+  sparse-column fast path), so fused and unfused execution are bit-identical
+  — fusion elides *materialization*, never changes arithmetic;
+* the scalar variants ``sadd``/``ssub``/``smul`` are direct numpy ufuncs
+  (no backend round trip — a scalar step inside a fused chain costs one
+  whole-column operation);
+* any other operation name falls back to the generic backend dispatcher,
+  which is how the single-step programs of ``execute_rma`` run every
+  Table 2 operation.
+
+New kernels can be added with :func:`register_kernel`; the plan layer's
+fusion rule only fuses operations listed in
+:data:`repro.opspec.FUSABLE_OPS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import RmaError
+from repro.linalg.matrix import Columns
+from repro.opspec import spec_of
+
+# A kernel takes (a_columns, b_columns | None, scalar | None, policy) and
+# returns the result columns.  ``policy`` is the backend policy of the
+# active RmaConfig (duck-typed to avoid an import cycle with repro.core).
+Kernel = Callable[[Columns, Optional[Columns], Optional[float], object],
+                  Columns]
+
+
+@dataclass(frozen=True)
+class KernelStep:
+    """One step of a kernel program.
+
+    ``left``/``right`` are slot indexes: slots ``0 .. n_inputs - 1`` hold
+    the prepared inputs' application columns, slot ``n_inputs + j`` holds
+    the result of step ``j``.  ``right`` is ``None`` for unary steps;
+    ``scalar`` carries the constant of scalar variants.
+    """
+
+    op: str
+    left: int
+    right: int | None = None
+    scalar: float | None = None
+
+
+@dataclass(frozen=True)
+class KernelProgram:
+    """A sequence of element-wise kernel steps over shared inputs.
+
+    The last step's result is the program's base result.  Programs are
+    value-objects (hashable), so plan nodes can embed them.
+    """
+
+    n_inputs: int
+    steps: tuple[KernelStep, ...]
+
+    @classmethod
+    def single(cls, op: str, binary: bool,
+               scalar: float | None = None) -> "KernelProgram":
+        """The one-step program executing a plain RMA operation."""
+        return cls(2 if binary else 1,
+                   (KernelStep(op, 0, 1 if binary else None, scalar),))
+
+
+def _shape(columns: Columns) -> tuple[int, int]:
+    return (len(columns[0]) if columns else 0, len(columns))
+
+
+def _backend_kernel(op: str) -> Kernel:
+    """Generic kernel: choose a backend by policy and run the operation.
+
+    Mirrors the monolithic ``execute_rma`` dispatch, including the
+    symmetric (dsyrk-style) fast path of ``cpd`` over identical columns.
+    """
+
+    def kernel(a: Columns, b: Columns | None, scalar: float | None,
+               policy) -> Columns:
+        if b is None:
+            return policy.choose(op, _shape(a)).compute(op, a)
+        if op == "cpd" and _same_columns(a, b):
+            b = a
+        return policy.choose(op, _shape(a), _shape(b)).compute(op, a, b)
+
+    return kernel
+
+
+def _same_columns(a: Columns, b: Columns) -> bool:
+    return len(a) == len(b) and all(x is y for x, y in zip(a, b))
+
+
+def _scalar_kernel(op: str, fn) -> Kernel:
+    def kernel(a: Columns, b: Columns | None, scalar: float | None,
+               policy) -> Columns:
+        if scalar is None:
+            raise RmaError(f"{op} requires a scalar value")
+        value = float(scalar)
+        return [fn(np.asarray(col, dtype=np.float64), value) for col in a]
+
+    return kernel
+
+
+KERNELS: dict[str, Kernel] = {
+    "add": _backend_kernel("add"),
+    "sub": _backend_kernel("sub"),
+    "emu": _backend_kernel("emu"),
+    "sadd": _scalar_kernel("sadd", lambda col, v: col + v),
+    "ssub": _scalar_kernel("ssub", lambda col, v: col - v),
+    "smul": _scalar_kernel("smul", lambda col, v: col * v),
+}
+"""Registry: operation name -> vectorized ndarray kernel."""
+
+
+def register_kernel(name: str, kernel: Kernel) -> None:
+    """Register (or replace) a kernel under an operation name."""
+    KERNELS[name.lower()] = kernel
+
+
+def kernel_for(name: str) -> Kernel:
+    """The registered kernel, or the generic backend dispatcher."""
+    key = name.lower()
+    kernel = KERNELS.get(key)
+    if kernel is None:
+        spec_of(key)  # raise early on unknown operations
+        kernel = _backend_kernel(key)
+        KERNELS[key] = kernel
+    return kernel
+
+
+def run_program(program: KernelProgram, inputs: Sequence[Columns],
+                policy) -> Columns:
+    """Execute a kernel program over prepared inputs; returns base columns.
+
+    ``inputs`` must hold exactly ``program.n_inputs`` column lists, all in
+    the same (already aligned) row order.
+    """
+    if len(inputs) != program.n_inputs:
+        raise RmaError(
+            f"kernel program expects {program.n_inputs} inputs, "
+            f"got {len(inputs)}")
+    if not program.steps:
+        raise RmaError("kernel program has no steps")
+    slots: list[Columns] = list(inputs)
+    for step in program.steps:
+        if not 0 <= step.left < len(slots):
+            raise RmaError(f"kernel step reads unknown slot {step.left}")
+        a = slots[step.left]
+        b = None
+        if step.right is not None:
+            if not 0 <= step.right < len(slots):
+                raise RmaError(
+                    f"kernel step reads unknown slot {step.right}")
+            b = slots[step.right]
+        slots.append(kernel_for(step.op)(a, b, step.scalar, policy))
+    return slots[-1]

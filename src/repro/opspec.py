@@ -68,6 +68,7 @@ class OpSpec:
     same_rows: bool = False       # binary: nrows(a) == nrows(b)
     same_cols: bool = False       # binary: ncols(a) == ncols(b)
     linear: bool = False          # "linear" op for the backend policy (§8.6)
+    scalar: bool = False          # unary op parameterized by a constant
 
     @property
     def unary(self) -> bool:
@@ -115,12 +116,35 @@ OP_NAMES: tuple[str, ...] = tuple(OPS)
 LINEAR_OPS: frozenset[str] = frozenset(
     name for name, spec in OPS.items() if spec.linear)
 
+# -- scalar variants ----------------------------------------------------------
+#
+# Element-wise operations against a constant (R + c, R - c, R * c).  They are
+# not part of the paper's Table 2 (OPS stays the paper's 19 operations and is
+# what the SQL grammar accepts), but they are first-class citizens of the
+# kernel-program layer: a scalar step costs one ufunc inside a fused chain,
+# where a full relational round trip would materialize an intermediate
+# relation.  Shape type (r1, c1): rows keep the input's storage order (the
+# order part is attached verbatim), columns keep the application schema.
+
+SCALAR_OPS: dict[str, OpSpec] = {spec.name: spec for spec in [
+    _spec("sadd", 1, ("r1", "c1"), SortClass.EQUIVARIANT, scalar=True),
+    _spec("ssub", 1, ("r1", "c1"), SortClass.EQUIVARIANT, scalar=True),
+    _spec("smul", 1, ("r1", "c1"), SortClass.EQUIVARIANT, scalar=True),
+]}
+
+ELEMENTWISE_OPS: frozenset[str] = frozenset({"add", "sub", "emu"})
+"""The relative-class element-wise operations (shape type (r*, c*))."""
+
+FUSABLE_OPS: frozenset[str] = ELEMENTWISE_OPS | frozenset(SCALAR_OPS)
+"""Operations the plan optimizer may collapse into one FusedRma node."""
+
 
 def spec_of(name: str) -> OpSpec:
     """Look up an operation spec; raises ``KeyError`` with the known names."""
     key = name.lower()
-    if key not in OPS:
+    spec = OPS.get(key) or SCALAR_OPS.get(key)
+    if spec is None:
         raise KeyError(
             f"unknown matrix operation {name!r}; known operations: "
-            f"{', '.join(OP_NAMES)}")
-    return OPS[key]
+            f"{', '.join(OP_NAMES + tuple(SCALAR_OPS))}")
+    return spec

@@ -32,10 +32,20 @@ Module map
     plus expression-analysis helpers.  Node equality is structural, which
     makes subplan sharing a dictionary lookup.
 
+``build``
+    The SQL front end's compiler: parsed ``SELECT`` AST -> shared IR
+    (``build_select``/``build_table_expr``).  Lives here — not in
+    ``repro.sql`` — so the IR and everything producing it have one home.
+
 ``optimizer``
     Semantics-preserving logical rewrites (predicate pushdown,
-    cross-to-inner join conversion, projection pruning) — moved here from
-    ``repro.sql`` so lazy pipelines get the same rewrites as SQL text.
+    cross-to-inner join conversion, projection pruning, element-wise
+    fusion) — moved here from ``repro.sql`` so lazy pipelines get the
+    same rewrites as SQL text.  The fusion rule collapses chains of
+    relative-class operations (``add``/``sub``/``emu`` and the scalar
+    variants ``sadd``/``ssub``/``smul``) into one ``FusedRma`` node when
+    each parent orders its input by exactly the order part the child
+    produces; shared subtrees and order-schema boundaries stay unfused.
 
 ``physical``
     The physical planner and the executor.  Optimizations that fire here:
@@ -44,14 +54,32 @@ Module map
       per statement; repeated subplans (``CPD(a,a)`` feeding both ``INV``
       and ``MMU``) hit the memo (``Executor.stats.cse_hits``).
     * **Join strategy** — equi-joins whose inputs are provably sorted by
-      the join key (cached ``tsorted`` bits / FULL-sort RMA outputs) are
-      marked ``merge`` and run without any argsort via
-      :func:`repro.relational.joins.merge_join_positions`.
+      the join key (cached ``tsorted`` bits / FULL-sort RMA outputs /
+      lexicographically sorted composite keys) are marked ``merge`` and
+      run without any argsort via
+      :func:`repro.relational.joins.merge_join_positions`; runtime
+      precondition re-checks fall back to the hash path.
+    * **Fused execution** — ``FusedRma`` nodes run as one
+      prepare/align/kernel-program/merge pass
+      (:func:`repro.core.ops.execute_fused`): every leaf aligns into the
+      first leaf's storage order with a single composed permutation, the
+      kernel registry (:mod:`repro.linalg.kernels`) executes the chain as
+      one program, and no intermediate relation is materialized.  Runtime
+      precondition failures (duplicate keys, width mismatches) replay the
+      chain step by step, bit-identically.
     * **Warm order caches** — ``Frame.to_plain_relation`` passes the
       original relation object through unmodified views, so the order
       caches seeded by ``merge_result`` (:mod:`repro.core.ops`) survive
       from one operation to the next instead of going cold on every
       derived relation.
+
+``cache``
+    The session-scoped plan/result cache: canonical subplan -> result
+    relation, stamped with per-table catalog versions so
+    ``CREATE``/``INSERT``/``register``/``DROP`` invalidate exactly the
+    affected entries.  Owned by :class:`repro.sql.session.Session`
+    (result + statement-plan caches) and shareable across lazy
+    ``collect(cache=...)`` calls.
 
 ``lazy``
     The Python builder front end: ``scan(rel).rma("mmu", ...).filter(...)
@@ -59,19 +87,22 @@ Module map
 
 ``explain``
     Plan pretty-printer used by ``LazyFrame.explain()`` and the SQL
-    ``EXPLAIN`` statement, including the physical annotations.
+    ``EXPLAIN`` statement, including the physical annotations (fused
+    nodes print their member operations).
 
 The SQL package (:mod:`repro.sql`) is now a thin front end: lexer, parser,
-AST, ``build_select`` (AST -> shared plan) and the session; its
-``logical``/``optimizer``/``executor`` modules re-export this package for
-backwards compatibility.
+AST and the session; its ``logical``/``optimizer``/``executor`` modules
+are pure re-exports of this package kept for backwards compatibility.
 
-Ablation: ``benchmarks/bench_ablation_plan.py`` measures CSE + warm-order
-propagation on a repeated-subexpression workload (committed baseline in
-``benchmarks/BENCH_plan.json``).
+Ablations: ``benchmarks/bench_ablation_plan.py`` measures CSE +
+warm-order propagation (baseline ``BENCH_plan.json``);
+``benchmarks/bench_ablation_fusion.py`` measures element-wise fusion and
+the session plan cache (baseline ``BENCH_fusion.json``).
 """
 
 from repro.plan import nodes
+from repro.plan.build import build_select, build_table_expr
+from repro.plan.cache import PlanCache, catalog_stamps
 from repro.plan.explain import explain_lines, format_plan
 from repro.plan.lazy import Col, LazyFrame, col, lit, scan
 from repro.plan.optimizer import Optimizer, optimize
@@ -85,7 +116,9 @@ from repro.plan.physical import (
 __all__ = [
     "nodes",
     "scan", "col", "lit", "Col", "LazyFrame",
+    "build_select", "build_table_expr",
     "optimize", "Optimizer",
     "Executor", "Frame", "PhysicalInfo", "plan_physical",
+    "PlanCache", "catalog_stamps",
     "format_plan", "explain_lines",
 ]

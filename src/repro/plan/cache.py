@@ -1,0 +1,173 @@
+"""Session-scoped plan/result cache with catalog-version invalidation.
+
+PR 2's common-subexpression elimination memoizes repeated RMA/subquery
+subplans *within one statement*; this module extends the memo across
+statements.  A :class:`PlanCache` maps canonical plan nodes (alias-stripped,
+structurally hashable — see :mod:`repro.plan.nodes`) to their result
+relations.  Relations are immutable, so sharing a cached result across
+statements is sound; the only thing that can go stale is the *catalog
+binding* of a ``Scan`` leaf.
+
+Every entry is therefore stamped with the **catalog version** of each table
+its subplan scans (:meth:`repro.bat.catalog.Catalog.table_version`, a
+monotone counter bumped on every ``CREATE``/``INSERT``/``register``/
+``DROP``).  A lookup revalidates the stamps: any mutation of a scanned
+table invalidates exactly the entries that read it, while entries over
+untouched tables keep hitting.  ``RelScan`` leaves reference immutable
+relation objects by identity and need no stamp.
+
+Entries also record the :meth:`~repro.core.config.RmaConfig.cache_token`
+they were computed under: results can depend on configuration (e.g. the
+backend policy), so a session that swaps — or mutates — its config never
+sees a result computed under different settings.
+
+Both front ends use the cache: :class:`repro.sql.session.Session` owns one
+per session, and the lazy builder accepts one via
+``LazyFrame.collect(cache=...)``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.bat.catalog import Catalog
+from repro.plan import nodes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.relation import Relation
+
+Stamps = tuple[tuple[str, Optional[int]], ...]
+
+
+def catalog_stamps(plan: nodes.Plan, catalog: Catalog) -> Stamps:
+    """(table, version) pairs for every catalog table a plan scans.
+
+    The walk is id-deduplicated so diamond-shaped lazy plans stay linear.
+    Unknown tables stamp as ``None`` — creating them later changes the
+    stamp, which is exactly the invalidation that case needs.
+    """
+    tables: set[str] = set()
+    seen: set[int] = set()
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if isinstance(node, nodes.Scan):
+            tables.add(node.table.lower())
+        stack.extend(node.children())
+    return tuple((name, catalog.table_version(name))
+                 for name in sorted(tables))
+
+
+class LruDict(OrderedDict):
+    """OrderedDict with LRU discipline: touch on hit, trim on store.
+
+    The one home for the eviction pattern the session's parse/plan caches
+    and :class:`PlanCache` share.
+    """
+
+    def __init__(self, max_entries: int):
+        super().__init__()
+        self.max_entries = max_entries
+
+    def touch(self, key) -> None:
+        self.move_to_end(key)
+
+    def store(self, key, value) -> None:
+        self[key] = value
+        self.move_to_end(key)
+        while len(self) > self.max_entries:
+            self.popitem(last=False)
+
+
+def _config_token(config):
+    """The config's cache token (see :meth:`RmaConfig.cache_token`).
+
+    Duck-typed configs without ``cache_token`` fall back to the object
+    itself: storing it in the entry pins it alive, so the comparison is a
+    true identity check — never a recycled ``id()`` of a collected
+    object."""
+    token = getattr(config, "cache_token", None)
+    return token() if callable(token) else config
+
+
+@dataclass
+class _Entry:
+    relation: "Relation"
+    stamps: Stamps
+    config_token: object
+    catalog: Catalog | None  # pinned only when stamps reference tables
+
+
+class PlanCache:
+    """LRU cache of subplan results, keyed by canonical plan node."""
+
+    def __init__(self, max_entries: int = 128):
+        self._entries: LruDict = LruDict(max_entries)
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    @property
+    def max_entries(self) -> int:
+        return self._entries.max_entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, plan: nodes.Plan, catalog: Catalog,
+            config: object) -> "Relation | None":
+        """The cached result for a subplan, or None.
+
+        Truly stale entries (catalog version mismatch on any scanned
+        table) are evicted on sight; entries that are merely *not ours* —
+        another catalog instance behind the stamps, or different config
+        values — miss without eviction, so a cache shared across
+        sessions/configs is last-writer-wins for colliding plan keys
+        instead of thrashing on alternating lookups.
+        """
+        entry = self._entries.get(plan)
+        if entry is None:
+            self.misses += 1
+            return None
+        if ((entry.stamps and entry.catalog is not catalog)
+                or entry.config_token != _config_token(config)):
+            # Version stamps only identify tables *within* one catalog,
+            # and results depend on config values — but such an entry is
+            # not stale for its own catalog/config, so it is left in
+            # place.
+            self.misses += 1
+            return None
+        if not self._valid(entry, catalog):
+            del self._entries[plan]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self._entries.touch(plan)
+        self.hits += 1
+        return entry.relation
+
+    def put(self, plan: nodes.Plan, catalog: Catalog, config: object,
+            relation: "Relation") -> None:
+        """Store a subplan result stamped with current table versions."""
+        stamps = catalog_stamps(plan, catalog)
+        self._entries.store(
+            plan, _Entry(relation, stamps, _config_token(config),
+                         catalog if stamps else None))
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @staticmethod
+    def _valid(entry: _Entry, catalog: Catalog) -> bool:
+        """Whether the stamped table versions still hold.  Entries without
+        stamps (pure ``RelScan`` plans — relations compared by identity)
+        are catalog-independent, which is what lets lazy
+        ``collect(cache=...)`` calls share a cache across their per-call
+        catalogs."""
+        return all(catalog.table_version(name) == version
+                   for name, version in entry.stamps)

@@ -36,7 +36,18 @@ def describe_node(plan: nodes.Plan) -> str:
         for i, by in enumerate(plan.by):
             parts.append(f"arg{i + 1} BY ({', '.join(by)})")
         alias = f" AS {plan.alias}" if plan.alias else ""
-        return f"Rma {plan.op.upper()} {', '.join(parts)}{alias}"
+        scalar = f" scalar={plan.scalar:g}" if plan.scalar is not None \
+            else ""
+        return f"Rma {plan.op.upper()} {', '.join(parts)}{alias}{scalar}"
+    if isinstance(plan, nodes.FusedRma):
+        ops = " -> ".join(
+            step.op.upper()
+            + (f"({step.scalar:g})" if step.scalar is not None else "")
+            for step in plan.steps)
+        parts = [f"arg{i + 1} BY ({', '.join(by)})"
+                 for i, by in enumerate(plan.bys)]
+        alias = f" AS {plan.alias}" if plan.alias else ""
+        return (f"FusedRma [{ops}] {', '.join(parts)}{alias}")
     if isinstance(plan, nodes.Filter):
         return f"Filter {plan.predicate.to_sql()}"
     if isinstance(plan, nodes.JoinPlan):
@@ -78,7 +89,7 @@ def _annotations(plan: nodes.Plan, info: PhysicalInfo | None) -> str:
     key = info.keys.get(plan)
     if key:
         parts.append(f"key=({', '.join(key)})")
-    if isinstance(plan, (nodes.Rma, nodes.SubqueryScan)):
+    if isinstance(plan, (nodes.Rma, nodes.FusedRma, nodes.SubqueryScan)):
         count = info.shared.get(_cse_key(plan))
         if count:
             parts.append(f"shared x{count}")

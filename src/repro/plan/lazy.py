@@ -30,10 +30,11 @@ from __future__ import annotations
 from typing import Any, Sequence
 
 from repro.bat.catalog import Catalog
-from repro.core.config import RmaConfig
+from repro.core.config import RmaConfig, default_config
 from repro.errors import PlanError
 from repro.opspec import spec_of
 from repro.plan import nodes
+from repro.plan.cache import PlanCache
 from repro.plan.explain import format_plan
 from repro.plan.optimizer import optimize as optimize_plan
 from repro.plan.physical import Executor, PhysicalInfo, plan_physical
@@ -243,14 +244,20 @@ class LazyFrame:
     def rma(self, op: str, by: str | Sequence[str],
             other: "LazyFrame | Relation | None" = None,
             other_by: str | Sequence[str] | None = None,
-            alias: str | None = None) -> "LazyFrame":
-        """Apply a Table 2 operation lazily.
+            alias: str | None = None,
+            scalar: float | None = None) -> "LazyFrame":
+        """Apply a Table 2 operation (or scalar variant) lazily.
 
         ``by`` (and ``other_by`` for binary operations) are order schemas,
-        exactly as in :mod:`repro.core.algebra`.
+        exactly as in :mod:`repro.core.algebra`; ``scalar`` is the constant
+        of the scalar variants (``sadd``/``ssub``/``smul``).
         """
         name = op.lower()
         spec = spec_of(name)
+        if spec.scalar and scalar is None:
+            raise PlanError(f"{name} requires a scalar value")
+        if not spec.scalar and scalar is not None:
+            raise PlanError(f"{name} does not accept a scalar value")
         inputs: list[nodes.Plan] = [self._plan]
         bys: list[tuple[str, ...]] = [_as_by(by, name)]
         if spec.arity == 2:
@@ -262,29 +269,42 @@ class LazyFrame:
         elif other is not None or other_by is not None:
             raise PlanError(
                 f"{name} is unary: other/other_by are not accepted")
-        return LazyFrame(nodes.Rma(name, tuple(inputs), tuple(bys), alias))
+        return LazyFrame(nodes.Rma(name, tuple(inputs), tuple(bys), alias,
+                                   scalar))
 
     # -- execution -------------------------------------------------------------
 
-    def _planned(self, optimize: bool) \
+    def _planned(self, optimize: bool, config: RmaConfig | None = None) \
             -> tuple[nodes.Plan, PhysicalInfo, Catalog]:
         catalog = Catalog()
         plan = self._plan
         if optimize:
-            plan = optimize_plan(plan, catalog, keep_all=True)
+            # Resolve the effective config exactly like the executor does,
+            # so the global default's fuse_elementwise knob is honored.
+            fuse = (config or default_config()).fuse_elementwise
+            plan = optimize_plan(plan, catalog, keep_all=True, fuse=fuse)
         info = plan_physical(plan, catalog)
         return plan, info, catalog
 
     def collect(self, config: RmaConfig | None = None,
-                optimize: bool = True, cse: bool = True) -> Relation:
-        """Optimize, physically plan and execute; returns the relation."""
-        plan, info, catalog = self._planned(optimize)
-        executor = Executor(catalog, config, physical=info, cse=cse)
+                optimize: bool = True, cse: bool = True,
+                cache: PlanCache | None = None) -> Relation:
+        """Optimize, physically plan and execute; returns the relation.
+
+        ``cache`` is an optional session-scoped
+        :class:`~repro.plan.cache.PlanCache` shared across ``collect``
+        calls: repeated RMA/subquery subplans (scans compare by relation
+        identity) skip re-execution entirely.
+        """
+        plan, info, catalog = self._planned(optimize, config)
+        executor = Executor(catalog, config, physical=info, cse=cse,
+                            result_cache=cache)
         return executor.run(plan).to_plain_relation()
 
-    def explain(self, optimize: bool = True) -> str:
+    def explain(self, optimize: bool = True,
+                config: RmaConfig | None = None) -> str:
         """The optimized plan with physical annotations, as text."""
-        plan, info, _ = self._planned(optimize)
+        plan, info, _ = self._planned(optimize, config)
         return format_plan(plan, info)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

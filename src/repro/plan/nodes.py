@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.errors import PlanError
+from repro.linalg.kernels import KernelStep
 from repro.sql import ast
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -96,15 +97,47 @@ class SubqueryScan(Plan):
 
 @plan_node
 class Rma(Plan):
-    """A relational matrix operation node: op over one or two inputs."""
+    """A relational matrix operation node: op over one or two inputs.
+
+    ``scalar`` carries the constant of the scalar variants
+    (``sadd``/``ssub``/``smul``); it is ``None`` for Table 2 operations.
+    """
 
     op: str
     inputs: tuple[Plan, ...]
     by: tuple[tuple[str, ...], ...]
     alias: Optional[str]
+    scalar: Optional[float] = None
 
     def children(self):
         return self.inputs
+
+
+@plan_node
+class FusedRma(Plan):
+    """A fused chain of relative-class element-wise RMA operations.
+
+    Produced by the optimizer's fusion rule from nested ``Rma`` nodes whose
+    order schemas are compatible (each parent orders its input by exactly
+    the order part the child produces).  ``steps`` is the kernel program:
+    slot ``i < len(inputs)`` is leaf ``i`` split by ``bys[i]``; slot
+    ``len(inputs) + j`` is the result of step ``j``.  The executor runs the
+    whole chain as one prepare/align/kernel/merge pass
+    (:func:`repro.core.ops.execute_fused`), falling back to step-by-step
+    execution when the fused preconditions fail at run time.
+    """
+
+    steps: tuple[KernelStep, ...]
+    inputs: tuple[Plan, ...]
+    bys: tuple[tuple[str, ...], ...]
+    alias: Optional[str]
+
+    def children(self):
+        return self.inputs
+
+    @property
+    def member_ops(self) -> tuple[str, ...]:
+        return tuple(step.op for step in self.steps)
 
 
 @plan_node
@@ -201,6 +234,31 @@ def walk_plan(plan: Plan) -> Iterator[Plan]:
     yield plan
     for child in plan.children():
         yield from walk_plan(child)
+
+
+def unfuse(plan: FusedRma) -> Plan:
+    """Rebuild the nested ``Rma`` chain a ``FusedRma`` node was fused from.
+
+    Interior aliases are not reconstructed (they are semantically inert —
+    an ``Rma`` parent consumes its child through the plain relation), so
+    the rebuilt chain is value-identical, not necessarily node-identical,
+    to the pre-fusion plan.
+    """
+    slots: list[tuple[Plan, tuple[str, ...]]] = list(
+        zip(plan.inputs, plan.bys))
+    for step in plan.steps:
+        left, left_by = slots[step.left]
+        if step.right is None:
+            node: Plan = Rma(step.op, (left,), (left_by,), None,
+                             step.scalar)
+            slots.append((node, left_by))
+        else:
+            right, right_by = slots[step.right]
+            node = Rma(step.op, (left, right), (left_by, right_by), None)
+            slots.append((node, left_by + right_by))
+    root, _ = slots[-1]
+    assert isinstance(root, Rma)
+    return Rma(root.op, root.inputs, root.by, plan.alias, root.scalar)
 
 
 # -- expression analysis -------------------------------------------------------
@@ -313,7 +371,9 @@ def with_children(plan: Plan, children: tuple[Plan, ...]) -> Plan:
     if isinstance(plan, SubqueryScan):
         return SubqueryScan(children[0], plan.alias)
     if isinstance(plan, Rma):
-        return Rma(plan.op, children, plan.by, plan.alias)
+        return Rma(plan.op, children, plan.by, plan.alias, plan.scalar)
+    if isinstance(plan, FusedRma):
+        return FusedRma(plan.steps, children, plan.bys, plan.alias)
     if isinstance(plan, Filter):
         return Filter(children[0], plan.predicate)
     if isinstance(plan, JoinPlan):

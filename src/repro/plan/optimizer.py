@@ -9,7 +9,15 @@ workloads for free (and what R lacks, §8.6):
    FROM lists plus equality predicates become hash joins, ordered smallest
    estimated input first;
 3. **Projection pruning** — scans keep only the columns the rest of the
-   plan references.
+   plan references;
+4. **Element-wise fusion** — chains of relative-class RMA nodes
+   (``add``/``sub``/``emu`` and the scalar variants) whose order schemas
+   are compatible collapse into one :class:`~repro.plan.nodes.FusedRma`
+   node, executed as a single prepare/align/kernel-program/merge pass with
+   every intermediate relation elided.  A chain edge fuses only when the
+   parent orders its input by exactly the order part the child produces
+   and the child subplan is not shared elsewhere in the statement (shared
+   subtrees stay separate nodes so CSE keeps executing them once).
 
 Plans containing RMA operations with data-dependent output schemas
 (``tra``/``usv``/``opd``) are left untouched below the RMA node — their
@@ -26,7 +34,8 @@ from typing import Optional
 
 from repro.bat.catalog import Catalog
 from repro.errors import CatalogError
-from repro.opspec import OPS
+from repro.linalg.kernels import KernelStep
+from repro.opspec import FUSABLE_OPS, OPS, spec_of
 from repro.plan import nodes
 from repro.plan.nodes import with_children
 from repro.sql import ast
@@ -48,7 +57,7 @@ def ref_matches(ref: ast.ColumnRef, names: set[tuple]) -> bool:
 
 
 def optimize(plan: nodes.Plan, catalog: Catalog,
-             keep_all: bool = False) -> nodes.Plan:
+             keep_all: bool = False, fuse: bool = True) -> nodes.Plan:
     """Apply all rewrite rules bottom-up.
 
     ``keep_all`` keeps the *root's* full output: SQL plans always end in a
@@ -58,6 +67,10 @@ def optimize(plan: nodes.Plan, catalog: Catalog,
     Pruning below interior projections still fires either way; only when
     the root's output schema cannot be derived (dynamic-schema RMA) is
     pruning skipped entirely.
+
+    ``fuse`` gates the element-wise fusion rewrite
+    (``RmaConfig.fuse_elementwise`` plumbs it through from both front
+    ends; the fusion ablation benchmark turns it off).
     """
     opt = Optimizer(catalog)
     plan = opt.rewrite(plan)
@@ -67,6 +80,8 @@ def optimize(plan: nodes.Plan, catalog: Catalog,
     else:
         needed = set()
     plan = opt.prune_columns(plan, needed)
+    if fuse:
+        plan = opt.fuse_elementwise(plan)
     return plan
 
 
@@ -93,6 +108,8 @@ class Optimizer:
             return {(plan.alias, n) for _, n in inner}
         if isinstance(plan, nodes.Rma):
             return self.rma_output_names(plan)
+        if isinstance(plan, nodes.FusedRma):
+            return self.fused_output_names(plan)
         if isinstance(plan, nodes.JoinPlan):
             left = self.output_names(plan.left)
             right = self.output_names(plan.right)
@@ -130,8 +147,20 @@ class Optimizer:
     def visible_names(self, plan: nodes.Plan) -> Optional[set[tuple]]:
         return self.output_names(plan)
 
+    def fused_output_names(self, plan: nodes.FusedRma) \
+            -> Optional[set[tuple]]:
+        """Schema of a fused chain: all order parts plus the first leaf's
+        application schema (shape type (r*, c*) collapsed over the chain)."""
+        first = self.output_names(plan.inputs[0])
+        if first is None:
+            return None
+        out = {(plan.alias, n) for by in plan.bys for n in by}
+        first_by = set(plan.bys[0])
+        out |= {(plan.alias, n) for _, n in first if n not in first_by}
+        return out
+
     def rma_output_names(self, plan: nodes.Rma) -> Optional[set[tuple]]:
-        spec = OPS[plan.op]
+        spec = spec_of(plan.op)
         if spec.shape_type[1] in ("r1", "r2"):
             return None  # data-dependent column names (column cast)
         input_names = []
@@ -338,12 +367,11 @@ class Optimizer:
             if needed is None:
                 return plan
             return nodes.Prune(plan, tuple(sorted(needed)))
-        if isinstance(plan, nodes.Rma):
+        if isinstance(plan, (nodes.Rma, nodes.FusedRma)):
             # RMA consumes its whole input (order + application schema).
-            return nodes.Rma(
-                plan.op,
-                tuple(self.prune_columns(c, None) for c in plan.inputs),
-                plan.by, plan.alias)
+            return nodes.with_children(
+                plan,
+                tuple(self.prune_columns(c, None) for c in plan.children()))
         if isinstance(plan, (nodes.Sort,)):
             if needed is not None:
                 needed = needed | {
@@ -356,3 +384,125 @@ class Optimizer:
             return plan
         rewritten = tuple(self.prune_columns(c, needed) for c in children)
         return with_children(plan, rewritten)
+
+    # -- rule 4: element-wise fusion ---------------------------------------------
+
+    def fuse_elementwise(self, plan: nodes.Plan) -> nodes.Plan:
+        """Collapse compatible element-wise RMA chains into FusedRma nodes."""
+        counts = _reference_counts(plan)
+        memo: dict[int, nodes.Plan] = {}
+        return self._fuse(plan, counts, memo)
+
+    def _fuse(self, plan: nodes.Plan, counts: dict[nodes.Plan, int],
+              memo: dict[int, nodes.Plan]) -> nodes.Plan:
+        cached = memo.get(id(plan))
+        if cached is not None:
+            return cached
+        result = self._fuse_uncached(plan, counts, memo)
+        memo[id(plan)] = result
+        return result
+
+    def _fuse_uncached(self, plan: nodes.Plan,
+                       counts: dict[nodes.Plan, int],
+                       memo: dict[int, nodes.Plan]) -> nodes.Plan:
+        if isinstance(plan, nodes.Rma) and plan.op in FUSABLE_OPS:
+            fused = self._try_fuse(plan, counts, memo)
+            if fused is not None:
+                return fused
+        children = plan.children()
+        if not children:
+            return plan
+        rewritten = tuple(self._fuse(c, counts, memo) for c in children)
+        if all(new is old for new, old in zip(rewritten, children)):
+            return plan
+        return with_children(plan, rewritten)
+
+    def _try_fuse(self, root: nodes.Rma, counts: dict[nodes.Plan, int],
+                  memo: dict[int, nodes.Plan]) -> Optional[nodes.FusedRma]:
+        """Collect the maximal fusable chain rooted at ``root``.
+
+        A child edge joins the chain only when (a) the child is a fusable
+        Rma with its scalar present where required, (b) the parent orders
+        that input by exactly the order part the child produces (its
+        concatenated order schemas — a permuted or partial order schema
+        changes alignment semantics and is a fusion boundary), and (c) the
+        child subplan is not referenced outside the chain: a child with
+        more references than the chain root is shared with some *other*
+        consumer (CSE executes it once; fusing it away would recompute it
+        per chain), while a count equal to the root's just means the whole
+        chain is duplicated — fusing every copy yields structurally equal
+        ``FusedRma`` nodes that CSE still executes once.
+        Returns None when fewer than two operations would fuse.
+        """
+        leaves: list[tuple[nodes.Plan, tuple[str, ...]]] = []
+        steps: list[tuple[str, tuple, Optional[tuple],
+                          Optional[float]]] = []
+        root_count = counts.get(root, 1)
+
+        def full_schema(node: nodes.Rma) -> tuple[str, ...]:
+            if len(node.inputs) == 2:
+                return node.by[0] + node.by[1]
+            return node.by[0]
+
+        def fusable(node: nodes.Plan,
+                    expected_by: Optional[tuple[str, ...]]) -> bool:
+            if not (isinstance(node, nodes.Rma)
+                    and node.op in FUSABLE_OPS):
+                return False
+            if spec_of(node.op).scalar and node.scalar is None:
+                return False
+            if expected_by is None:  # the chain root
+                return True
+            return (counts.get(node, 0) <= root_count
+                    and full_schema(node) == expected_by)
+
+        def emit(node: nodes.Plan,
+                 expected_by: Optional[tuple[str, ...]]) -> tuple:
+            if not fusable(node, expected_by):
+                leaves.append((node, expected_by))
+                return ("leaf", len(leaves) - 1)
+            assert isinstance(node, nodes.Rma)
+            left_ref = emit(node.inputs[0], node.by[0])
+            right_ref = None
+            if len(node.inputs) == 2:
+                right_ref = emit(node.inputs[1], node.by[1])
+            steps.append((node.op, left_ref, right_ref, node.scalar))
+            return ("step", len(steps) - 1)
+
+        emit(root, None)
+        if len(steps) < 2:
+            return None
+        n_leaves = len(leaves)
+
+        def resolve(ref: tuple) -> int:
+            kind, index = ref
+            return index if kind == "leaf" else n_leaves + index
+
+        kernel_steps = tuple(
+            KernelStep(op, resolve(left),
+                       resolve(right) if right is not None else None,
+                       scalar)
+            for op, left, right, scalar in steps)
+        inputs = tuple(self._fuse(leaf, counts, memo) for leaf, _ in leaves)
+        bys = tuple(by for _, by in leaves)
+        return nodes.FusedRma(kernel_steps, inputs, bys, root.alias)
+
+
+def _reference_counts(plan: nodes.Plan) -> dict[nodes.Plan, int]:
+    """How often each (structurally equal) subplan is referenced.
+
+    Each *occurrence* of a node is counted — that is what CSE sharing means
+    — but an object reused in several places has its subtree descended only
+    once, keeping the walk linear for diamond-shaped lazy plans (the same
+    trick :class:`repro.plan.physical._PhysicalPlanner` uses)."""
+    counts: dict[nodes.Plan, int] = {}
+    seen: set[int] = set()
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        counts[node] = counts.get(node, 0) + 1
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.extend(node.children())
+    return counts

@@ -44,8 +44,11 @@ from repro.bat import kernels
 from repro.bat.properties import properties_enabled
 from repro.core.config import RmaConfig, default_config
 from repro.core.algebra import rma_operation
+from repro.core.context import FusionFallback
+from repro.core.ops import execute_fused
 from repro.errors import BindError, CatalogError, PlanError
-from repro.opspec import OPS, SortClass
+from repro.opspec import SortClass, spec_of
+from repro.plan.cache import PlanCache
 import repro.relational.aggregate as rel_aggregate
 import repro.relational.joins as rel_join
 import repro.relational.ops as rel_ops
@@ -424,7 +427,8 @@ class _PhysicalPlanner:
             if isinstance(node, nodes.JoinPlan):
                 self.info.join_strategy.setdefault(
                     node, self._choose_strategy(node))
-            if isinstance(node, (nodes.Rma, nodes.SubqueryScan)):
+            if isinstance(node, (nodes.Rma, nodes.FusedRma,
+                                 nodes.SubqueryScan)):
                 key = _cse_key(node)
                 self.info.shared[key] = self.info.shared.get(key, 0) + 1
             if id(node) in visited:
@@ -503,7 +507,7 @@ class _PhysicalPlanner:
         if isinstance(plan, nodes.Rma):
             for child in plan.children():
                 self._order_of(child)
-            spec = OPS[plan.op]
+            spec = spec_of(plan.op)
             x, _ = spec.shape_type
             if x == "r1" and spec.sort_class is SortClass.FULL:
                 # FULL-sort operations physically order their result rows
@@ -526,6 +530,20 @@ class _PhysicalPlanner:
                     prefix.append(name)
                 return tuple(prefix)
             return ()
+        if isinstance(plan, nodes.FusedRma):
+            # Like the element-wise (r*) case collapsed over the chain:
+            # the first leaf's storage order is preserved.
+            for child in plan.children():
+                self._order_of(child)
+            self.info.keys.setdefault(plan, tuple(plan.bys[0]))
+            child = self._order_of(plan.inputs[0])
+            visible = {name for by in plan.bys for name in by}
+            prefix = []
+            for name in child:
+                if name not in visible:
+                    break
+                prefix.append(name)
+            return tuple(prefix)
         if isinstance(plan, nodes.Aggregate):
             self._order_of(plan.child)
             self.info.keys.setdefault(plan, tuple(plan.key_names))
@@ -576,26 +594,45 @@ class _PhysicalPlanner:
                 equi.append((rref.name, lref.name))
             else:
                 return "hash"
-        if len(equi) != 1:
-            return "hash"  # multi-key merge is not implemented
-        lname, rname = equi[0]
+        if not equi:
+            # No equality conjunct at all (pure theta join): the executor
+            # runs cross + filter, so no merge strategy can apply.
+            return "hash"
         # The runtime merge path requires same-dtype raw-comparable keys
         # (STR excluded); only predict merge when the leaf column dtypes
         # prove eligibility, so EXPLAIN never claims a strategy the
         # executor would reject.
-        ldtype = self._side_key_dtype(plan.left, lname)
-        rdtype = self._side_key_dtype(plan.right, rname)
-        if (ldtype is None or ldtype is not rdtype
-                or ldtype not in rel_join.MERGE_TYPES):
+        for lname, rname in equi:
+            ldtype = self._side_key_dtype(plan.left, lname)
+            rdtype = self._side_key_dtype(plan.right, rname)
+            if (ldtype is None or ldtype is not rdtype
+                    or ldtype not in rel_join.MERGE_TYPES):
+                return "hash"
+        if len(equi) == 1:
+            lname, rname = equi[0]
+            if (self._side_sorted_by(plan.left, lname)
+                    and self._side_sorted_by(plan.right, rname)):
+                return "merge"
             return "hash"
-        if (self._side_sorted_by(plan.left, lname)
-                and self._side_sorted_by(plan.right, rname)):
+        # Composite keys: the executor probes the keys in conjunct order,
+        # so both sides must be lexicographically sorted in exactly that
+        # column order.  Derived ordering metadata rarely proves more than
+        # a one-column prefix, so fall back to scanning the leaf columns
+        # (forced, like the single-key sortedness probe: the O(n·k) scan
+        # is worth it when it can save the factorize/argsort).
+        lnames = tuple(l for l, _ in equi)
+        rnames = tuple(r for _, r in equi)
+        if (self._side_lex_sorted(plan.left, lnames)
+                and self._side_lex_sorted(plan.right, rnames)):
             return "merge"
         return "hash"
 
     def _side_key_dtype(self, plan: nodes.Plan, name: str):
+        # Walks the same order-preserving nodes as _probe_leaf so the
+        # dtype gate never rejects a side the sortedness probes could
+        # still prove (e.g. a Limit above a sorted scan in lazy plans).
         node = plan
-        while isinstance(node, (nodes.Filter, nodes.Prune)):
+        while isinstance(node, (nodes.Filter, nodes.Prune, nodes.Limit)):
             if isinstance(node, nodes.Prune) and name not in node.names:
                 return None
             node = node.children()[0]
@@ -610,17 +647,36 @@ class _PhysicalPlanner:
             return True
         # Fall back to the base scan's column: for join keys (only), the
         # O(n) sortedness check is worth forcing — it can save the argsort.
+        relation = self._probe_leaf(plan, (name,))
+        return relation is not None and relation.column(name).tsorted
+
+    def _side_lex_sorted(self, plan: nodes.Plan,
+                         names: tuple[str, ...]) -> bool:
+        ordering = self._order_of(plan)
+        if ordering[:len(names)] == names:
+            return True
+        relation = self._probe_leaf(plan, names)
+        return (relation is not None
+                and rel_join.lex_sorted(relation.bats(names)))
+
+    def _probe_leaf(self, plan: nodes.Plan,
+                    names: tuple[str, ...]) -> Relation | None:
+        """The base relation behind order-preserving nodes, if it still
+        exposes all the given columns (sortedness of the base column
+        survives Filter/Limit subsetting and Prune projection)."""
         if not properties_enabled():
-            return False
+            return None
         node = plan
-        while isinstance(node, (nodes.Filter, nodes.Prune)):
-            if isinstance(node, nodes.Prune) and name not in node.names:
-                return False
+        while isinstance(node, (nodes.Filter, nodes.Prune, nodes.Limit)):
+            if isinstance(node, nodes.Prune) \
+                    and any(name not in node.names for name in names):
+                return None
             node = node.children()[0]
         relation = self._leaf_relation(node)
-        if relation is None or name not in relation.schema:
-            return False
-        return relation.column(name).tsorted
+        if relation is None \
+                or any(name not in relation.schema for name in names):
+            return None
+        return relation
 
 
 def _contains_join(plan: nodes.Plan) -> bool:
@@ -642,7 +698,9 @@ def _contains_join(plan: nodes.Plan) -> bool:
 def _cse_key(plan: nodes.Plan) -> nodes.Plan:
     """Normalize a shareable node for memoization (strip the top alias)."""
     if isinstance(plan, nodes.Rma):
-        return nodes.Rma(plan.op, plan.inputs, plan.by, None)
+        return nodes.Rma(plan.op, plan.inputs, plan.by, None, plan.scalar)
+    if isinstance(plan, nodes.FusedRma):
+        return nodes.FusedRma(plan.steps, plan.inputs, plan.bys, None)
     if isinstance(plan, nodes.SubqueryScan):
         return plan.plan
     return plan
@@ -655,6 +713,9 @@ class ExecStats:
     """Counters the tests and EXPLAIN ANALYZE-style tooling read."""
 
     cse_hits: int = 0
+    cache_hits: int = 0
+    fused_nodes: int = 0
+    fusion_fallbacks: int = 0
 
 
 class Executor:
@@ -662,22 +723,50 @@ class Executor:
 
     ``physical`` carries the planner's annotations (join strategies); when
     omitted every join uses the hash path.  ``cse`` toggles memoization of
-    repeated RMA/subquery subplans (on by default; the plan-layer ablation
-    benchmark turns it off for its baseline).
+    repeated RMA/subquery subplans within one statement (on by default; the
+    plan-layer ablation benchmark turns it off for its baseline).
+    ``result_cache`` is an optional *session-scoped*
+    :class:`repro.plan.cache.PlanCache`: shareable subplan results found
+    there skip execution entirely, and freshly computed ones are stored for
+    later statements (stamped with catalog table versions, so catalog
+    mutations invalidate exactly the affected entries).
     """
 
     def __init__(self, catalog: Catalog, config: RmaConfig | None = None,
-                 physical: PhysicalInfo | None = None, cse: bool = True):
+                 physical: PhysicalInfo | None = None, cse: bool = True,
+                 result_cache: "PlanCache | None" = None):
         self.catalog = catalog
         self.config = config or default_config()
         self.physical = physical or PhysicalInfo()
         self.cse = cse
+        self.result_cache = result_cache
         self.stats = ExecStats()
         self._memo: dict[nodes.Plan, Relation] = {}
 
     def run(self, plan: nodes.Plan) -> Frame:
         method = getattr(self, f"_run_{type(plan).__name__.lower()}")
         return method(plan)
+
+    def _memoized_relation(self, key: nodes.Plan, compute) -> Relation:
+        """Per-statement CSE memo plus the session-scoped result cache."""
+        if self.cse:
+            relation = self._memo.get(key)
+            if relation is not None:
+                self.stats.cse_hits += 1
+                return relation
+        if self.result_cache is not None:
+            relation = self.result_cache.get(key, self.catalog, self.config)
+            if relation is not None:
+                self.stats.cache_hits += 1
+                if self.cse:
+                    self._memo[key] = relation
+                return relation
+        relation = compute()
+        if self.cse:
+            self._memo[key] = relation
+        if self.result_cache is not None:
+            self.result_cache.put(key, self.catalog, self.config, relation)
+        return relation
 
     # -- leaves -------------------------------------------------------------------
 
@@ -692,35 +781,68 @@ class Executor:
         return Frame.from_relation(plan.relation, plan.alias)
 
     def _run_subqueryscan(self, plan: nodes.SubqueryScan) -> Frame:
-        relation = self._memo.get(plan.plan) if self.cse else None
-        if relation is None:
-            relation = self.run(plan.plan).to_plain_relation()
-            if self.cse:
-                self._memo[plan.plan] = relation
-        else:
-            self.stats.cse_hits += 1
+        relation = self._memoized_relation(
+            plan.plan, lambda: self.run(plan.plan).to_plain_relation())
         return Frame.from_relation(relation, plan.alias)
 
     def _run_rma(self, plan: nodes.Rma) -> Frame:
-        key = _cse_key(plan)
-        relation = self._memo.get(key) if self.cse else None
-        if relation is None:
+        def compute() -> Relation:
             relations = [self.run(child).to_plain_relation()
                          for child in plan.inputs]
             if len(relations) == 1:
-                relation = rma_operation(plan.op, relations[0],
-                                         list(plan.by[0]),
-                                         config=self.config)
-            else:
-                relation = rma_operation(plan.op, relations[0],
-                                         list(plan.by[0]), relations[1],
-                                         list(plan.by[1]),
-                                         config=self.config)
-            if self.cse:
-                self._memo[key] = relation
-        else:
-            self.stats.cse_hits += 1
+                return rma_operation(plan.op, relations[0],
+                                     list(plan.by[0]),
+                                     config=self.config,
+                                     scalar=plan.scalar)
+            return rma_operation(plan.op, relations[0],
+                                 list(plan.by[0]), relations[1],
+                                 list(plan.by[1]),
+                                 config=self.config)
+
+        relation = self._memoized_relation(_cse_key(plan), compute)
         return Frame.from_relation(relation, plan.alias)
+
+    def _run_fusedrma(self, plan: nodes.FusedRma) -> Frame:
+        relation = self._memoized_relation(
+            _cse_key(plan), lambda: self._execute_fused(plan))
+        return Frame.from_relation(relation, plan.alias)
+
+    def _execute_fused(self, plan: nodes.FusedRma) -> Relation:
+        relations = [self.run(child).to_plain_relation()
+                     for child in plan.inputs]
+        try:
+            result = execute_fused(plan.steps, relations, plan.bys,
+                                   self.config)
+            self.stats.fused_nodes += 1
+            return result
+        except FusionFallback:
+            self.stats.fusion_fallbacks += 1
+            return self._replay_unfused(plan, relations)
+
+    def _replay_unfused(self, plan: nodes.FusedRma,
+                        relations: list[Relation]) -> Relation:
+        """Run a fused chain step by step over the materialized leaves.
+
+        This is exactly what executing the pre-fusion plan would do (the
+        leaf subplans are already evaluated), so a runtime fallback is
+        bit-identical to never having fused — including raised errors.
+        """
+        slots: list[tuple[Relation, tuple[str, ...]]] = list(
+            zip(relations, plan.bys))
+        for step in plan.steps:
+            left, left_by = slots[step.left]
+            if step.right is None:
+                result = rma_operation(step.op, left, list(left_by),
+                                       config=self.config,
+                                       scalar=step.scalar)
+                slots.append((result, left_by))
+            else:
+                right, right_by = slots[step.right]
+                result = rma_operation(step.op, left, list(left_by),
+                                       right, list(right_by),
+                                       config=self.config)
+                slots.append((result, left_by + right_by))
+        return slots[-1][0]
 
     # -- unary nodes -----------------------------------------------------------------
 

@@ -1,22 +1,23 @@
-"""SQL front end: AST -> shared logical plan.
+"""Compatibility shim: the logical plan layer moved to :mod:`repro.plan`.
 
 The plan node types and expression-analysis helpers live in
-:mod:`repro.plan.nodes` (they are shared with the lazy builder); this
-module re-exports them for backwards compatibility and contributes the
-SQL-specific part — compiling a parsed ``SELECT`` into the shared IR.
+:mod:`repro.plan.nodes`; the SELECT compiler (AST -> shared IR) lives in
+:mod:`repro.plan.build`.  This module is a pure re-export so existing
+imports (``from repro.sql.logical import build_select``) keep working — the
+IR has exactly one home.
 """
 
-from __future__ import annotations
-
-from typing import Optional
-
-from repro.errors import PlanError
+from repro.plan.build import (  # noqa: F401  (re-exported API)
+    build_select,
+    build_table_expr,
+)
 from repro.plan.nodes import (  # noqa: F401  (re-exported API)
     AGGREGATE_FUNCTIONS,
     Aggregate,
     AggregateSpecNode,
     Distinct,
     Filter,
+    FusedRma,
     JoinPlan,
     Limit,
     Plan,
@@ -37,118 +38,12 @@ from repro.plan.nodes import (  # noqa: F401  (re-exported API)
     walk_expr,
     walk_plan,
 )
-from repro.sql import ast
 
-# -- plan construction ----------------------------------------------------------
-
-
-def build_table_expr(node: ast.TableExpr) -> Plan:
-    if isinstance(node, ast.TableRef):
-        return Scan(node.name, node.alias or node.name)
-    if isinstance(node, ast.SubqueryRef):
-        return SubqueryScan(build_select(node.query), node.alias)
-    if isinstance(node, ast.RmaCall):
-        inputs = tuple(build_table_expr(arg.table) for arg in node.args)
-        by = tuple(arg.by for arg in node.args)
-        return Rma(node.op, inputs, by, node.alias)
-    if isinstance(node, ast.Join):
-        return JoinPlan(node.kind, build_table_expr(node.left),
-                        build_table_expr(node.right), node.condition)
-    raise PlanError(f"unhandled table expression {node!r}")
-
-
-def build_select(select: ast.Select) -> Plan:
-    """Translate a SELECT AST into a logical plan."""
-    if select.source is None:
-        plan: Plan = Scan("_dual", "_dual")
-    else:
-        plan = build_table_expr(select.source)
-    if select.where is not None:
-        plan = Filter(plan, select.where)
-
-    has_aggregates = (bool(select.group_by)
-                      or any(contains_aggregate(i.expr)
-                             for i in select.items)
-                      or (select.having is not None
-                          and contains_aggregate(select.having)))
-
-    if has_aggregates:
-        plan, items, having = _plan_aggregation(plan, select)
-    else:
-        items = select.items
-        having = select.having
-        if having is not None:
-            raise PlanError("HAVING without aggregation or GROUP BY")
-
-    # SQL clause order: ... GROUP BY -> HAVING -> SELECT -> DISTINCT ->
-    # ORDER BY -> LIMIT.  ORDER BY may reference both select aliases and
-    # source columns; Project keeps source columns as hidden bindings so the
-    # Sort above it can resolve them.
-    if having is not None:
-        plan = Filter(plan, having)
-    plan = Project(plan, tuple(items))
-    if select.distinct:
-        plan = Distinct(plan)
-    if select.order_by:
-        plan = Sort(plan, select.order_by)
-    if select.limit is not None:
-        plan = Limit(plan, select.limit, select.offset)
-    return plan
-
-
-def _plan_aggregation(plan: Plan, select: ast.Select) \
-        -> tuple[Plan, tuple[ast.SelectItem, ...], Optional[ast.Expr]]:
-    """Insert an Aggregate node and rewrite select items / HAVING.
-
-    Aggregate calls become references to generated columns; group keys are
-    available under generated names as well.
-    """
-    mapping: dict[ast.Expr, ast.Expr] = {}
-    specs: list[AggregateSpecNode] = []
-    seen: dict[ast.Expr, str] = {}
-
-    sources = [item.expr for item in select.items]
-    if select.having is not None:
-        sources.append(select.having)
-    counter = 0
-    for source in sources:
-        for call in aggregate_calls(source):
-            if call in seen:
-                continue
-            counter += 1
-            out_name = f"_agg{counter}"
-            seen[call] = out_name
-            func = AGGREGATE_FUNCTIONS[call.name]
-            if len(call.args) != 1:
-                raise PlanError(
-                    f"{call.name} takes exactly one argument")
-            arg = call.args[0]
-            argument: ast.Expr | None
-            if isinstance(arg, ast.Star):
-                if call.name != "COUNT":
-                    raise PlanError(f"{call.name}(*) is not valid")
-                argument = None
-            else:
-                argument = arg
-            specs.append(AggregateSpecNode(func, argument, call.distinct,
-                                           out_name))
-            mapping[call] = ast.ColumnRef(out_name)
-
-    key_names = []
-    key_exprs = list(select.group_by)
-    for i, key in enumerate(key_exprs):
-        name = default_output_name(key, i)
-        key_name = f"_key{i}_{name}"
-        key_names.append(key_name)
-        mapping[key] = ast.ColumnRef(key_name)
-
-    plan = Aggregate(plan, tuple(key_exprs), tuple(key_names), tuple(specs))
-
-    new_items = []
-    for index, item in enumerate(select.items):
-        rewritten = replace_expr(item.expr, mapping)
-        alias = item.alias or default_output_name(item.expr, index)
-        new_items.append(ast.SelectItem(rewritten, alias))
-    having = (replace_expr(select.having, mapping)
-              if select.having is not None else None)
-    return plan, tuple(new_items), having
+__all__ = [
+    "AGGREGATE_FUNCTIONS", "Aggregate", "AggregateSpecNode", "Distinct",
+    "Filter", "FusedRma", "JoinPlan", "Limit", "Plan", "Project", "Prune",
+    "RelScan", "Rma", "Scan", "Sort", "SubqueryScan", "aggregate_calls",
+    "build_select", "build_table_expr", "column_refs", "conjoin",
+    "contains_aggregate", "default_output_name", "replace_expr",
+    "split_conjuncts", "walk_expr", "walk_plan",
+]

@@ -232,9 +232,35 @@ class TestJoinStrategy:
         assert self.strategy_of(
             session, "SELECT v, w FROM l JOIN r ON l.id = r.key") == "hash"
 
-    def test_multi_key_join_stays_hash(self):
+    def test_multi_key_sorted_join_chooses_merge(self):
+        # Both sides are lexicographically sorted by (major, minor): the
+        # composite-key merge path applies.
         session = Session()
         left, right = sorted_tables()
+        session.register("l", left)
+        session.register("r", right)
+        assert self.strategy_of(
+            session,
+            "SELECT v, w FROM l JOIN r ON l.id = r.key AND l.v = r.w") \
+            == "merge"
+
+    def test_theta_join_without_equality_stays_hash(self):
+        # No equality conjunct at all: the executor runs cross + filter,
+        # so the planner must never claim a merge strategy.
+        session = self.make_session()
+        assert self.strategy_of(
+            session, "SELECT v, w FROM l JOIN r ON l.id < r.key") == "hash"
+
+    def test_multi_key_unsorted_minor_stays_hash(self):
+        # Duplicate major keys with a decreasing minor inside a tie group:
+        # not lexicographically sorted, so the planner keeps the hash path.
+        session = Session()
+        left = Relation.from_columns({
+            "id": np.array([0, 0, 1, 1], dtype=np.int64),
+            "v": np.array([2.0, 1.0, 3.0, 4.0])})
+        right = Relation.from_columns({
+            "key": np.array([0, 0, 1, 1], dtype=np.int64),
+            "w": np.array([1.0, 2.0, 3.0, 4.0])})
         session.register("l", left)
         session.register("r", right)
         assert self.strategy_of(
