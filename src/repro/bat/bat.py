@@ -260,11 +260,18 @@ class BAT:
     # -- physical properties -----------------------------------------------
 
     def _lazy_prop(self, name: str, compute) -> bool:
+        """Lazily computed property bit, thread-safe by compute-then-CAS.
+
+        Concurrent first touches may duplicate the (idempotent) scan, but
+        ``setdefault`` publishes exactly one verdict atomically — no
+        torn or interleaved cache writes.  Per-BAT locks were rejected:
+        BATs are created on every fetch/slice, and a lock per instance
+        would cost more than the rare duplicated scan.
+        """
         if properties_enabled():
             cached = self._props.get(name)
             if cached is None:
-                cached = compute()
-                self._props[name] = cached
+                cached = self._props.setdefault(name, compute())
             return cached
         return compute()
 
@@ -526,24 +533,36 @@ class BAT:
                            else None),
         }
 
-    def as_float(self) -> np.ndarray:
+    def as_float(self, astype=None) -> np.ndarray:
         """Return the tail as a float64 array (application-part view).
 
         For INT columns the cast result is cached (read-only) on the
         instance: repeated operations over the same relation pay the copy
         once.  Nil handling matches the uncached behaviour: the raw
         ``NIL_INT`` sentinel is cast verbatim, not mapped to NaN.
+
+        ``astype`` optionally substitutes the int64→float64 cast with an
+        equivalent implementation (the morsel engine passes a per-chunk
+        cast); it must return a bit-identical float64 array.  The cache
+        update is compute-then-publish: under concurrent first use two
+        threads may both cast, but each publishes a correct immutable
+        view, so any winner is sound.
         """
         if self.dtype is DataType.DBL:
             return self.tail
         if self.dtype is DataType.INT:
+            cast = astype if astype is not None \
+                else lambda tail: tail.astype(np.float64)
             if properties_enabled():
-                if self._float_view is None:
-                    view = self.tail.astype(np.float64)
+                view = self._float_view
+                if view is None:
+                    view = cast(self.tail)
                     view.setflags(write=False)
-                    self._float_view = view
-                return self._float_view
-            return self.tail.astype(np.float64)
+                    if self._float_view is None:
+                        self._float_view = view
+                    view = self._float_view
+                return view
+            return cast(self.tail)
         raise TypeMismatchError(
             f"column of type {self.dtype.value} is not numeric")
 

@@ -26,7 +26,13 @@ import numpy as np
 from repro.bat.bat import BAT, DataType
 from repro.bat.properties import properties_enabled
 from repro.bat.sorting import key_violation, order_by, rank_of, require_key
-from repro.core.config import RmaConfig
+from repro.core.config import ParallelConfig, RmaConfig
+from repro.engine.parallel import (
+    parallel_astype_float,
+    parallel_gather,
+    parallel_gather_columns,
+)
+from repro.engine.pool import run_tasks
 from repro.errors import (
     ApplicationSchemaError,
     OrderSchemaError,
@@ -106,24 +112,52 @@ def split_schema(relation: Relation, by: str | Sequence[str],
     return order_names, app_names
 
 
+def _as_float(bat: BAT, parallel: ParallelConfig | None) -> np.ndarray:
+    """``bat.as_float()`` with the INT→float cast run per-morsel."""
+    if parallel is None or bat.dtype is not DataType.INT:
+        return bat.as_float()
+    return bat.as_float(
+        astype=lambda tail: parallel_astype_float(tail, parallel))
+
+
+def _parallel_of(config: RmaConfig) -> ParallelConfig | None:
+    parallel = config.parallel
+    return parallel if parallel.active() else None
+
+
+def _prepare_arguments(thunks, config: RmaConfig) -> list:
+    """Run independent per-argument prepare thunks, pooled when enabled.
+
+    Error order matches the serial loop: the caller runs the first thunk
+    itself, and its exception wins over later arguments' (see
+    :func:`repro.engine.pool.run_tasks`).
+    """
+    if _parallel_of(config) is not None and len(thunks) > 1:
+        return run_tasks(thunks)
+    return [thunk() for thunk in thunks]
+
+
 def _prepare_sorted(relation: Relation, order_names: list[str],
                     app_names: list[str], validate: bool,
-                    use_props: bool) -> PreparedInput:
+                    config: RmaConfig) -> PreparedInput:
     """FULL sorting: argsort the order part, fetchjoin everything.
 
     With the property layer on, the permutation and key check come from the
     relation's order cache (computed once per relation and order schema)
     and the application part is gathered from each column's cached float
-    view instead of fetch-then-cast.
+    view instead of fetch-then-cast; the morsel engine chunks those
+    gathers across the worker pool.
     """
     order_bats = relation.bats(order_names)
-    if use_props:
+    if config.use_properties:
+        parallel = _parallel_of(config)
         info = relation.order_info(order_names)
         if validate and not info.is_key:
             raise key_violation(order_names)
         positions = info.positions
-        app_columns = [relation.column(n).as_float()[positions]
-                       for n in app_names]
+        app_columns = parallel_gather_columns(
+            [_as_float(relation.column(n), parallel) for n in app_names],
+            positions, parallel)
     else:
         positions = order_by(order_bats)
         if validate:
@@ -152,16 +186,18 @@ def _seed_major_key_sorted(bat: BAT) -> None:
 
 def _prepare_unsorted(relation: Relation, order_names: list[str],
                       app_names: list[str], validate: bool,
-                      use_props: bool) -> PreparedInput:
+                      config: RmaConfig) -> PreparedInput:
     """No sorting: storage order is the kernel order."""
     order_bats = relation.bats(order_names)
     if validate:
-        if use_props:
+        if config.use_properties:
             if not relation.order_info(order_names).is_key:
                 raise key_violation(order_names)
         else:
             require_key(order_bats, order_names)
-    app_columns = [relation.column(n).as_float() for n in app_names]
+    parallel = _parallel_of(config) if config.use_properties else None
+    app_columns = [_as_float(relation.column(n), parallel)
+                   for n in app_names]
     return PreparedInput(relation, order_names, app_names, order_bats,
                          app_columns, sorted_storage=False,
                          validated=validate)
@@ -182,13 +218,12 @@ def prepare_unary(relation: Relation, by: str | Sequence[str],
                   spec: OpSpec, config: RmaConfig) -> PreparedInput:
     order_names, app_names = split_schema(relation, by, spec, argument=1)
     validate = _needs_key(spec, config)
-    use_props = config.use_properties
     if not config.optimize_sorting or spec.sort_class is SortClass.FULL:
         return _prepare_sorted(relation, order_names, app_names, validate,
-                               use_props)
+                               config)
     # INVARIANT and EQUIVARIANT unary operations skip sorting (§8.1).
     return _prepare_unsorted(relation, order_names, app_names, validate,
-                             use_props)
+                             config)
 
 
 def prepare_binary(r: Relation, r_by: str | Sequence[str], s: Relation,
@@ -200,18 +235,27 @@ def prepare_binary(r: Relation, r_by: str | Sequence[str], s: Relation,
     use_props = config.use_properties
 
     if not config.optimize_sorting or spec.sort_class is SortClass.FULL:
-        return (_prepare_sorted(r, r_order, r_app, config.validate_keys,
-                                use_props),
-                _prepare_sorted(s, s_order, s_app, config.validate_keys,
-                                use_props))
+        # The two argument preparations are independent (order caches are
+        # per relation and thread-safe): with the morsel engine on their
+        # argsorts and key checks run concurrently on the pool.
+        prepared = _prepare_arguments(
+            [lambda: _prepare_sorted(r, r_order, r_app,
+                                     config.validate_keys, config),
+             lambda: _prepare_sorted(s, s_order, s_app,
+                                     config.validate_keys, config)],
+            config)
+        return prepared[0], prepared[1]
 
     if spec.sort_class is SortClass.EQUIVARIANT:
         # First argument keeps storage order; second must still be sorted
         # (its rows align with the first argument's *columns*).
-        return (_prepare_unsorted(r, r_order, r_app, config.validate_keys,
-                                  use_props),
-                _prepare_sorted(s, s_order, s_app, config.validate_keys,
-                                use_props))
+        prepared = _prepare_arguments(
+            [lambda: _prepare_unsorted(r, r_order, r_app,
+                                       config.validate_keys, config),
+             lambda: _prepare_sorted(s, s_order, s_app,
+                                     config.validate_keys, config)],
+            config)
+        return prepared[0], prepared[1]
 
     # RELATIVE: align s's rows to r's storage order with one composed
     # permutation; r is never fetchjoined (paper: "only the order part of
@@ -219,16 +263,26 @@ def prepare_binary(r: Relation, r_by: str | Sequence[str], s: Relation,
     r_order_bats = r.bats(r_order)
     s_order_bats = s.bats(s_order)
     if use_props:
+        parallel = _parallel_of(config)
         r_info = r.order_info(r_order)
         s_info = s.order_info(s_order)
+        if parallel is not None:
+            # Force the two sides' sort work concurrently (cached
+            # afterwards); the key checks below then reuse the orders.
+            run_tasks([lambda: r_info.ranks_with(parallel),
+                       lambda: s_info.positions])
         if config.validate_keys:
             if not r_info.is_key:
                 raise key_violation(r_order)
             if not s_info.is_key:
                 raise key_violation(s_order)
-        aligned = s_info.positions[r_info.ranks]
-        s_app_columns = [s.column(n).as_float()[aligned] for n in s_app]
+        aligned = parallel_gather(s_info.positions,
+                                  r_info.ranks_with(parallel), parallel)
+        s_app_columns = parallel_gather_columns(
+            [_as_float(s.column(n), parallel) for n in s_app],
+            aligned, parallel)
     else:
+        parallel = None
         r_positions = order_by(r_order_bats)
         if config.validate_keys:
             require_key(r_order_bats, r_order, r_positions)
@@ -240,7 +294,8 @@ def prepare_binary(r: Relation, r_by: str | Sequence[str], s: Relation,
                          for n in s_app]
     prepared_r = PreparedInput(
         r, r_order, r_app, r_order_bats,
-        [r.column(n).as_float() for n in r_app], sorted_storage=False,
+        [_as_float(r.column(n), parallel) for n in r_app],
+        sorted_storage=False,
         validated=config.validate_keys)
     prepared_s = PreparedInput(
         s, s_order, s_app,
@@ -313,31 +368,46 @@ def prepare_fused(relations: Sequence[Relation],
     if any(len(app) != width for _, app in splits):
         raise FusionFallback("application schema widths differ")
 
-    infos = []
-    for relation, (order_names, _) in zip(relations, splits):
-        info = relation.order_info(order_names)
+    parallel = _parallel_of(config)
+    infos = [relation.order_info(order_names)
+             for relation, (order_names, _) in zip(relations, splits)]
+    if parallel is not None and len(infos) > 1:
+        # Per-leaf argsorts and key checks are independent; force them
+        # concurrently on the pool (the per-relation order caches are
+        # thread-safe, so each computes exactly once).
+        run_tasks([lambda info=info: (info.positions, info.is_key)
+                   for info in infos])
+    for (order_names, _), info in zip(splits, infos):
         if not info.is_key:
             raise FusionFallback("order schema is not a key")
-        infos.append(info)
 
-    prepared: list[PreparedInput] = []
-    ranks = infos[0].ranks if len(relations) > 1 else None
-    for i, (relation, (order_names, app_names)) in enumerate(
-            zip(relations, splits)):
+    ranks = infos[0].ranks_with(parallel) if len(relations) > 1 else None
+
+    def prepare_leaf(i: int) -> PreparedInput:
+        relation, (order_names, app_names) = relations[i], splits[i]
         if i == 0:
             order_bats = relation.bats(order_names)
-            app_columns = [relation.column(a).as_float()
+            app_columns = [_as_float(relation.column(a), parallel)
                            for a in app_names]
         else:
-            aligned = infos[i].positions[ranks]
+            aligned = parallel_gather(infos[i].positions, ranks, parallel)
             order_bats = [bat.fetch(aligned, positions_key=True)
                           for bat in relation.bats(order_names)]
-            app_columns = [relation.column(a).as_float()[aligned]
-                          for a in app_names]
-        prepared.append(PreparedInput(
+            app_columns = parallel_gather_columns(
+                [_as_float(relation.column(a), parallel)
+                 for a in app_names],
+                aligned, parallel)
+        return PreparedInput(
             relation, order_names, app_names, order_bats, app_columns,
-            sorted_storage=False, validated=True))
-    return prepared
+            sorted_storage=False, validated=True)
+
+    # Leaf alignments are independent too: ship them to the pool as
+    # whole-leaf tasks (the cheap first leaf runs on the caller); the
+    # chunked gathers inside inline when already on a worker.
+    if parallel is not None and len(relations) > 1:
+        return run_tasks([lambda i=i: prepare_leaf(i)
+                          for i in range(len(relations))])
+    return [prepare_leaf(i) for i in range(len(relations))]
 
 
 def _check_binary_compat(r: Relation, r_order: list[str], r_app: list[str],

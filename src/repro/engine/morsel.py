@@ -1,0 +1,74 @@
+"""Row-range partitioning for morsel-driven execution.
+
+A *morsel* is a contiguous ``[start, stop)`` row range of the prepared
+inputs.  Contiguity is what makes morsels cheap and deterministic:
+
+* the engine's per-morsel work operates on numpy *views*
+  (:func:`slice_columns`) — cutting a column into morsels allocates
+  nothing;
+* writing morsel results back at the same offsets is a deterministic
+  chunk-ordered merge — the concatenation of morsel results equals the
+  serial whole-column result bit for bit, regardless of which worker
+  finishes first;
+* should per-morsel work ever need BATs instead of raw tails,
+  :meth:`repro.bat.bat.BAT.slice` already propagates every cached
+  physical property through contiguous subsetting (``tsorted``/
+  ``trevsorted``/``tkey``/``tnonil``), so the serial short-circuits
+  would survive slicing too — the partitioner's contract, asserted in
+  the engine tests, though today's stages all run on ndarray views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Morsel:
+    """One contiguous row range ``[start, stop)`` with its chunk index.
+
+    ``index`` is the morsel's position in the partition, which is the
+    merge order: result offsets are derived from it, never from
+    completion order.
+    """
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def rows(self) -> int:
+        return self.stop - self.start
+
+
+def partition(n: int, workers: int, min_morsel_rows: int) -> list[Morsel]:
+    """Split ``n`` rows into at most ``workers`` morsels.
+
+    Morsels never shrink below ``min_morsel_rows`` (thread handoff costs
+    more than computing a tiny chunk inline), are balanced to within one
+    row, and cover ``0 .. n`` exactly once in index order.  A result of
+    length 1 means "stay serial".
+    """
+    if n <= 0:
+        return [Morsel(0, 0, max(n, 0))]
+    min_rows = max(1, min_morsel_rows)
+    chunks = min(max(1, workers), max(1, n // min_rows))
+    if chunks <= 1:
+        return [Morsel(0, 0, n)]
+    base, extra = divmod(n, chunks)
+    morsels = []
+    start = 0
+    for i in range(chunks):
+        stop = start + base + (1 if i < extra else 0)
+        morsels.append(Morsel(i, start, stop))
+        start = stop
+    return morsels
+
+
+def slice_columns(columns: Sequence[np.ndarray],
+                  morsel: Morsel) -> list[np.ndarray]:
+    """The morsel's view of each column (no copies)."""
+    return [col[morsel.start:morsel.stop] for col in columns]

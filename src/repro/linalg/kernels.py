@@ -26,6 +26,20 @@ The registry maps operation names to vectorized ndarray kernels:
 New kernels can be added with :func:`register_kernel`; the plan layer's
 fusion rule only fuses operations listed in
 :data:`repro.opspec.FUSABLE_OPS`.
+
+**Morsel-parallel execution** (:func:`run_program_parallel`): programs
+whose steps are all element-wise (exactly the fusable set) are
+row-decomposable — every output element depends on one input row only —
+so the program can run once per morsel over column *slices* and write
+into preallocated result columns at the morsel's offsets (a
+deterministic, chunk-ordered merge).  Bit-identity with
+:func:`run_program` is preserved by making every data-dependent decision
+on the *whole* columns before chunking: the backend choice uses the full
+shapes, and ``add``'s sparse/dense routing samples the full input
+columns, so each morsel applies the exact per-element function the serial
+pass would.  Programs with any non-decomposable step (or an ``add`` over
+an intermediate slot on the BAT backend, whose density sample would need
+the materialized intermediate) fall back to the serial path.
 """
 
 from __future__ import annotations
@@ -37,7 +51,7 @@ import numpy as np
 
 from repro.errors import RmaError
 from repro.linalg.matrix import Columns
-from repro.opspec import spec_of
+from repro.opspec import FUSABLE_OPS, spec_of
 
 # A kernel takes (a_columns, b_columns | None, scalar | None, policy) and
 # returns the result columns.  ``policy`` is the backend policy of the
@@ -171,3 +185,130 @@ def run_program(program: KernelProgram, inputs: Sequence[Columns],
             b = slots[step.right]
         slots.append(kernel_for(step.op)(a, b, step.scalar, policy))
     return slots[-1]
+
+
+# -- morsel-parallel execution ------------------------------------------------
+
+_SCALAR_UFUNCS = {"sadd": np.add, "ssub": np.subtract, "smul": np.multiply}
+
+# A chunk kernel maps the current slot list (column *slices*) to the
+# step's result columns for that morsel.
+_ChunkKernel = Callable[[list], Columns]
+
+
+def _chunk_kernels(program: KernelProgram, inputs: Sequence[Columns],
+                   policy) -> "tuple[list[_ChunkKernel], int] | None":
+    """(per-step morsel kernels, result width), or None → run serial.
+
+    Every data-dependent decision is taken here, over the *full* inputs,
+    so the per-morsel functions are pure element maps and the chunked run
+    is bit-identical to the serial one.
+    """
+    if not program.steps or len(inputs) != program.n_inputs:
+        return None
+    n = len(inputs[0][0]) if inputs and inputs[0] else 0
+    widths = [len(cols) for cols in inputs]
+    kernels: list[_ChunkKernel] = []
+    for step in program.steps:
+        op = step.op
+        if op not in FUSABLE_OPS or not 0 <= step.left < len(widths):
+            return None
+        if op in _SCALAR_UFUNCS:
+            if step.right is not None or step.scalar is None:
+                return None
+            ufunc = _SCALAR_UFUNCS[op]
+            value = float(step.scalar)
+
+            def kernel(slots, left=step.left, ufunc=ufunc,
+                       value=value) -> Columns:
+                return [ufunc(np.asarray(col, dtype=np.float64), value)
+                        for col in slots[left]]
+
+            kernels.append(kernel)
+            widths.append(widths[step.left])
+            continue
+        # binary element-wise: add / sub / emu
+        if step.right is None or not 0 <= step.right < len(widths):
+            return None
+        if op == "sub":
+            def kernel(slots, left=step.left, right=step.right) -> Columns:
+                return [x - y for x, y in zip(slots[left], slots[right])]
+        elif op == "emu":
+            def kernel(slots, left=step.left, right=step.right) -> Columns:
+                return [x * y for x, y in zip(slots[left], slots[right])]
+        elif op == "add":
+            # Replicate the backend's sparse/dense routing globally.
+            backend = policy.choose("add", (n, widths[step.left]),
+                                    (n, widths[step.right]))
+            if getattr(backend, "name", None) == "bat":
+                if (step.left >= program.n_inputs
+                        or step.right >= program.n_inputs):
+                    # The density sample needs the full columns; an
+                    # intermediate slot never materializes them.
+                    return None
+                from repro.bat.compression import (
+                    SPARSE_DENSITY_THRESHOLD,
+                    estimate_density,
+                    sparse_add,
+                )
+                sparse_flags = tuple(
+                    estimate_density(x) < SPARSE_DENSITY_THRESHOLD
+                    and estimate_density(y) < SPARSE_DENSITY_THRESHOLD
+                    for x, y in zip(inputs[step.left], inputs[step.right]))
+
+                def kernel(slots, left=step.left, right=step.right,
+                           flags=sparse_flags,
+                           sparse_add=sparse_add) -> Columns:
+                    return [sparse_add(x, y) if sparse else x + y
+                            for x, y, sparse in zip(slots[left],
+                                                    slots[right], flags)]
+            else:
+                def kernel(slots, left=step.left,
+                           right=step.right) -> Columns:
+                    return [x + y for x, y in zip(slots[left],
+                                                  slots[right])]
+        else:
+            # A fusable binary op this planner has no chunk kernel for
+            # (e.g. added later via register_kernel): run serial rather
+            # than guess its semantics.
+            return None
+        kernels.append(kernel)
+        widths.append(widths[step.left])
+    return kernels, widths[-1]
+
+
+def run_program_parallel(program: KernelProgram, inputs: Sequence[Columns],
+                         policy, parallel) -> Columns:
+    """Execute a kernel program morsel-parallel on the shared worker pool.
+
+    Falls back to :func:`run_program` (same results, same errors) whenever
+    the program is not row-decomposable, the input is too small to split
+    under ``parallel.min_morsel_rows``, or the caller already runs on a
+    pool worker.
+    """
+    from repro.engine.morsel import slice_columns
+    from repro.engine.parallel import plan_morsels
+    from repro.engine.pool import map_chunks
+
+    if not inputs or not inputs[0]:
+        return run_program(program, inputs, policy)
+    n = len(inputs[0][0])
+    morsels = plan_morsels(n, parallel)
+    if morsels is None:
+        return run_program(program, inputs, policy)
+    planned = _chunk_kernels(program, inputs, policy)
+    if planned is None:
+        return run_program(program, inputs, policy)
+    kernels, width_out = planned
+    outs = [np.empty(n, dtype=np.float64) for _ in range(width_out)]
+
+    def run(morsel) -> None:
+        slots: list[Columns] = [slice_columns(cols, morsel)
+                                for cols in inputs]
+        for kernel in kernels:
+            slots.append(kernel(slots))
+        for out, col in zip(outs, slots[-1]):
+            out[morsel.start:morsel.stop] = col
+
+    map_chunks(run, morsels)
+    return outs

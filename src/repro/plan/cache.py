@@ -28,10 +28,12 @@ per session, and the lazy builder accepts one via
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from repro.bat.bat import DataType
 from repro.bat.catalog import Catalog
 from repro.plan import nodes
 
@@ -95,29 +97,83 @@ def _config_token(config):
     return token() if callable(token) else config
 
 
+_STR_PAYLOAD_SAMPLE = 64
+"""Strings sampled per column when estimating STR storage bytes."""
+
+_STR_OBJECT_OVERHEAD = 49
+"""CPython's empty-``str`` footprint (the per-object heap cost)."""
+
+
+def relation_bytes(relation: "Relation") -> int:
+    """Estimated resident bytes of a relation's BATs (for cache budgets).
+
+    Numeric/date tails are exact (``ndarray.nbytes``).  STR tails hold
+    object pointers, so the python string payload is estimated from a
+    deterministic strided sample of up to ``_STR_PAYLOAD_SAMPLE`` values —
+    an O(1)-per-column estimate, cheap enough to run on every cache store.
+    """
+    total = 0
+    for column in relation.columns:
+        total += column.tail.nbytes
+        if column.dtype is DataType.STR and len(column.tail):
+            tail = column.tail
+            step = max(1, len(tail) // _STR_PAYLOAD_SAMPLE)
+            probe = tail[::step]
+            payload = sum(_STR_OBJECT_OVERHEAD + len(v)
+                          for v in probe if v is not None)
+            total += int(payload * (len(tail) / max(len(probe), 1)))
+    return total
+
+
+DEFAULT_MAX_RESULT_BYTES = 256 << 20
+"""Default byte budget of a session's result cache (256 MiB).
+
+Sized to the workloads the paper benchmarks: a 1M-row, 10-column double
+relation is ~80 MB, so the default keeps a few large intermediates while
+the entry-count backstop still caps pathological many-small-entry
+sessions."""
+
+
 @dataclass
 class _Entry:
     relation: "Relation"
     stamps: Stamps
     config_token: object
     catalog: Catalog | None  # pinned only when stamps reference tables
+    bytes: int = 0
 
 
 class PlanCache:
-    """LRU cache of subplan results, keyed by canonical plan node."""
+    """Cache of subplan results, keyed by canonical plan node.
 
-    def __init__(self, max_entries: int = 128):
-        self._entries: LruDict = LruDict(max_entries)
+    Eviction is LRU by **estimated result bytes** (``max_bytes``,
+    computed from the cached relations' BAT sizes) with ``max_entries``
+    kept as a backstop — a session caching a handful of million-row
+    intermediates hits the byte budget long before the entry count, while
+    many tiny results are still bounded.  All operations take the cache
+    lock: with the morsel engine on, executors call ``get``/``put`` from
+    pool worker threads.
+    """
+
+    def __init__(self, max_entries: int = 128,
+                 max_bytes: int = DEFAULT_MAX_RESULT_BYTES):
+        self._entries: "OrderedDict[nodes.Plan, _Entry]" = OrderedDict()
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._bytes = 0
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
-
-    @property
-    def max_entries(self) -> int:
-        return self._entries.max_entries
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        """Estimated bytes of all cached results."""
+        return self._bytes
 
     def get(self, plan: nodes.Plan, catalog: Catalog,
             config: object) -> "Relation | None":
@@ -130,37 +186,63 @@ class PlanCache:
         sessions/configs is last-writer-wins for colliding plan keys
         instead of thrashing on alternating lookups.
         """
-        entry = self._entries.get(plan)
-        if entry is None:
-            self.misses += 1
-            return None
-        if ((entry.stamps and entry.catalog is not catalog)
-                or entry.config_token != _config_token(config)):
-            # Version stamps only identify tables *within* one catalog,
-            # and results depend on config values — but such an entry is
-            # not stale for its own catalog/config, so it is left in
-            # place.
-            self.misses += 1
-            return None
-        if not self._valid(entry, catalog):
-            del self._entries[plan]
-            self.invalidations += 1
-            self.misses += 1
-            return None
-        self._entries.touch(plan)
-        self.hits += 1
-        return entry.relation
+        with self._lock:
+            entry = self._entries.get(plan)
+            if entry is None:
+                self.misses += 1
+                return None
+            if ((entry.stamps and entry.catalog is not catalog)
+                    or entry.config_token != _config_token(config)):
+                # Version stamps only identify tables *within* one
+                # catalog, and results depend on config values — but such
+                # an entry is not stale for its own catalog/config, so it
+                # is left in place.
+                self.misses += 1
+                return None
+            if not self._valid(entry, catalog):
+                self._drop(plan)
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(plan)
+            self.hits += 1
+            return entry.relation
 
     def put(self, plan: nodes.Plan, catalog: Catalog, config: object,
             relation: "Relation") -> None:
         """Store a subplan result stamped with current table versions."""
         stamps = catalog_stamps(plan, catalog)
-        self._entries.store(
-            plan, _Entry(relation, stamps, _config_token(config),
-                         catalog if stamps else None))
+        entry = _Entry(relation, stamps, _config_token(config),
+                       catalog if stamps else None,
+                       bytes=relation_bytes(relation))
+        with self._lock:
+            if entry.bytes > self.max_bytes:
+                # Too big to ever fit: admitting it would flush every
+                # resident entry before evicting itself.  Drop only a
+                # stale previous version of the same plan, keep the rest.
+                self._drop(plan)
+                return
+            old = self._entries.pop(plan, None)
+            if old is not None:
+                self._bytes -= old.bytes
+            self._entries[plan] = entry
+            self._bytes += entry.bytes
+            while self._entries and (
+                    len(self._entries) > self.max_entries
+                    or self._bytes > self.max_bytes):
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.bytes
+                self.evictions += 1
+
+    def _drop(self, plan: nodes.Plan) -> None:
+        entry = self._entries.pop(plan, None)
+        if entry is not None:
+            self._bytes -= entry.bytes
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
 
     @staticmethod
     def _valid(entry: _Entry, catalog: Catalog) -> bool:

@@ -32,9 +32,11 @@ their seeded order caches all the way to the user (or the next operation).
 
 from __future__ import annotations
 
+import itertools
 import re
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -46,6 +48,7 @@ from repro.core.config import RmaConfig, default_config
 from repro.core.algebra import rma_operation
 from repro.core.context import FusionFallback
 from repro.core.ops import execute_fused
+from repro.engine.pool import in_worker, run_tasks
 from repro.errors import BindError, CatalogError, PlanError
 from repro.opspec import SortClass, spec_of
 from repro.plan.cache import PlanCache
@@ -82,7 +85,8 @@ class Frame:
     resolvable (qualified or unqualified).
     """
 
-    _counter = 0
+    _counter = itertools.count(1)  # itertools: atomic under the GIL, so
+    # concurrently evaluated subplans never mint the same internal name
 
     def __init__(self, relation: Relation, bindings: list[Binding],
                  source: Relation | None = None):
@@ -92,8 +96,7 @@ class Frame:
 
     @classmethod
     def _fresh(cls, hint: str) -> str:
-        cls._counter += 1
-        return f"{hint}#{cls._counter}"
+        return f"{hint}#{next(cls._counter)}"
 
     @classmethod
     def from_relation(cls, relation: Relation,
@@ -657,7 +660,7 @@ class _PhysicalPlanner:
             return True
         relation = self._probe_leaf(plan, names)
         return (relation is not None
-                and rel_join.lex_sorted(relation.bats(names)))
+                and rel_join.relation_lex_sorted(relation, names))
 
     def _probe_leaf(self, plan: nodes.Plan,
                     names: tuple[str, ...]) -> Relation | None:
@@ -742,28 +745,93 @@ class Executor:
         self.result_cache = result_cache
         self.stats = ExecStats()
         self._memo: dict[nodes.Plan, Relation] = {}
+        # Guards the CSE memo and the stats counters: with the morsel
+        # engine on, sibling subplans execute on pool workers.
+        self._lock = threading.Lock()
 
     def run(self, plan: nodes.Plan) -> Frame:
         method = getattr(self, f"_run_{type(plan).__name__.lower()}")
         return method(plan)
 
+    def _run_siblings(self, plans: "Sequence[nodes.Plan]") -> list[Frame]:
+        """Evaluate independent subplan subtrees, concurrently when the
+        morsel engine is on.
+
+        Siblings sharing a CSE key (structurally identical up to alias)
+        stay serial so the second occurrence hits the CSE memo instead of
+        racing the first to compute the same subtree twice.  Shared
+        subtrees *below* distinct siblings (the planner's CSE annotation
+        knows them) are computed once up front, so the concurrent
+        siblings find them in the memo rather than each recomputing the
+        diamond.
+        """
+        if (len(plans) > 1 and self.config.parallel.active()
+                and not in_worker()
+                and len({_cse_key(p) for p in plans}) == len(plans)):
+            self._prerun_shared(plans)
+            return run_tasks([lambda p=p: self.run(p) for p in plans])
+        return [self.run(p) for p in plans]
+
+    def _prerun_shared(self, plans: "Sequence[nodes.Plan]") -> None:
+        """Materialize CSE-shared subtrees that span several siblings."""
+        if not self.cse or not self.physical.shared:
+            return
+        per_sibling: list[set] = []
+        for plan in plans:
+            keys = set()
+            for node in nodes.walk_plan(plan):
+                if isinstance(node, (nodes.Rma, nodes.FusedRma,
+                                     nodes.SubqueryScan)):
+                    key = _cse_key(node)
+                    if key in self.physical.shared:
+                        keys.add(key)
+            per_sibling.append(keys)
+        seen: set = set()
+        spanning = []
+        for i, keys in enumerate(per_sibling):
+            for key in keys:
+                if key not in seen and any(
+                        key in other for other in per_sibling[i + 1:]):
+                    spanning.append(key)
+                seen.add(key)
+        for key in spanning:
+            if isinstance(key, (nodes.Rma, nodes.FusedRma)):
+                # Normalized nodes are themselves runnable; running them
+                # populates the memo under exactly this key.
+                self.run(key)
+            else:
+                self._memoized_relation(
+                    key, lambda k=key: self.run(k).to_plain_relation())
+
+    def _sibling_relations(self, plans: "Sequence[nodes.Plan]") \
+            -> list[Relation]:
+        return [frame.to_plain_relation()
+                for frame in self._run_siblings(plans)]
+
+    def _bump(self, counter: str) -> None:
+        with self._lock:
+            setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+
     def _memoized_relation(self, key: nodes.Plan, compute) -> Relation:
         """Per-statement CSE memo plus the session-scoped result cache."""
         if self.cse:
-            relation = self._memo.get(key)
+            with self._lock:
+                relation = self._memo.get(key)
             if relation is not None:
-                self.stats.cse_hits += 1
+                self._bump("cse_hits")
                 return relation
         if self.result_cache is not None:
             relation = self.result_cache.get(key, self.catalog, self.config)
             if relation is not None:
-                self.stats.cache_hits += 1
+                self._bump("cache_hits")
                 if self.cse:
-                    self._memo[key] = relation
+                    with self._lock:
+                        self._memo[key] = relation
                 return relation
         relation = compute()
         if self.cse:
-            self._memo[key] = relation
+            with self._lock:
+                self._memo[key] = relation
         if self.result_cache is not None:
             self.result_cache.put(key, self.catalog, self.config, relation)
         return relation
@@ -787,8 +855,7 @@ class Executor:
 
     def _run_rma(self, plan: nodes.Rma) -> Frame:
         def compute() -> Relation:
-            relations = [self.run(child).to_plain_relation()
-                         for child in plan.inputs]
+            relations = self._sibling_relations(plan.inputs)
             if len(relations) == 1:
                 return rma_operation(plan.op, relations[0],
                                      list(plan.by[0]),
@@ -808,15 +875,14 @@ class Executor:
         return Frame.from_relation(relation, plan.alias)
 
     def _execute_fused(self, plan: nodes.FusedRma) -> Relation:
-        relations = [self.run(child).to_plain_relation()
-                     for child in plan.inputs]
+        relations = self._sibling_relations(plan.inputs)
         try:
             result = execute_fused(plan.steps, relations, plan.bys,
                                    self.config)
-            self.stats.fused_nodes += 1
+            self._bump("fused_nodes")
             return result
         except FusionFallback:
-            self.stats.fusion_fallbacks += 1
+            self._bump("fusion_fallbacks")
             return self._replay_unfused(plan, relations)
 
     def _replay_unfused(self, plan: nodes.FusedRma,
@@ -1008,8 +1074,7 @@ class Executor:
     # -- joins ------------------------------------------------------------------------
 
     def _run_joinplan(self, plan: nodes.JoinPlan) -> Frame:
-        left = self.run(plan.left)
-        right = self.run(plan.right)
+        left, right = self._run_siblings([plan.left, plan.right])
         if plan.kind == "cross" and plan.condition is None:
             relation = rel_ops.cross(left.relation, right.relation)
             return Frame(relation, left.bindings + right.bindings)

@@ -146,6 +146,25 @@ def merge_join_positions(left_keys: Sequence[BAT],
     return join_positions(left_keys, right_keys, how)
 
 
+def relation_lex_sorted(relation: Relation, names: Sequence[str]) -> bool:
+    """:func:`lex_sorted` memoized per ``(relation, attribute tuple)``.
+
+    The single-column case is already O(1) after the first probe (the
+    cached ``tsorted`` bit), and the strict-major / all-sorted / unsorted
+    composite shortcuts are too — but the ambiguous composite case
+    (sorted major *with* duplicates) used to re-pay the O(n·k) scan on
+    every multi-key merge-join probe.  The verdict now lives in the
+    relation's order cache (:meth:`repro.relational.relation.OrderInfo.
+    lex_sorted_memo`), keyed by the attribute tuple, so repeated probes —
+    the planner re-plans every statement — cost one dict lookup.  While
+    the property layer is disabled the memo is bypassed, keeping the
+    ablations honest.
+    """
+    if not properties_enabled():
+        return lex_sorted(relation.bats(names))
+    return relation.order_info(names).lex_sorted_memo(lex_sorted)
+
+
 def lex_sorted(bats: Sequence[BAT]) -> bool:
     """Whether the columns are lexicographically sorted in raw-tail order.
 

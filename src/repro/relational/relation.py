@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Sequence
 
 import numpy as np
@@ -24,29 +25,69 @@ class OrderInfo:
 
     Everything is derived lazily from the (immutable) key BATs: the sort
     ``positions``, the inverse permutation ``ranks`` (relative sorting,
-    paper §8.1), and whether the columns form a key (``is_key``).  Once a
-    relation has computed an order it never computes it again — the paper's
-    repeated-operation workloads hit the same order schema on every call.
+    paper §8.1), whether the columns form a key (``is_key``), and — for
+    composite keys probed by the merge-join planner — whether the columns
+    are lexicographically sorted in storage order (``lex_sorted_memo``).
+    Once a relation has computed an order it never computes it again — the
+    paper's repeated-operation workloads hit the same order schema on
+    every call.
+
+    Lazy fields use double-checked locking (one re-entrant lock per
+    info): under the morsel engine several workers can touch a cold cache
+    at once, and the lock ensures the O(n log n) argsort and O(n·k) scans
+    run exactly once instead of per worker, with no interleaved writes.
+    The lock is re-entrant because ``is_key`` computes ``positions``.
     """
 
-    __slots__ = ("_bats", "_positions", "_ranks", "_is_key")
+    __slots__ = ("_bats", "_positions", "_ranks", "_is_key", "_lex_sorted",
+                 "_lock")
 
     def __init__(self, bats: Sequence[BAT]):
         self._bats = list(bats)
         self._positions: np.ndarray | None = None
         self._ranks: np.ndarray | None = None
         self._is_key: bool | None = None
+        self._lex_sorted: bool | None = None
+        self._lock = threading.RLock()
 
     @property
     def positions(self) -> np.ndarray:
         if self._positions is None:
-            self._positions = order_by(self._bats)
+            with self._lock:
+                if self._positions is None:
+                    self._positions = order_by(self._bats)
         return self._positions
 
     @property
     def ranks(self) -> np.ndarray:
         if self._ranks is None:
-            self._ranks = rank_of(self.positions)
+            with self._lock:
+                if self._ranks is None:
+                    self._ranks = rank_of(self.positions)
+        return self._ranks
+
+    def ranks_with(self, parallel) -> np.ndarray:
+        """``ranks``, computing the inverse permutation per-morsel.
+
+        ``parallel`` is a :class:`repro.core.config.ParallelConfig` (or
+        None for serial); the scatter result is bit-identical to
+        :func:`repro.bat.sorting.rank_of` either way, so the cached array
+        is shared with the plain property.
+
+        The scatter itself runs OUTSIDE ``_lock`` — it waits on the
+        worker pool, and waiting on the pool while holding a lock other
+        threads need deadlocks the pool; a racing duplicate scatter is
+        the cheaper failure mode.  The lock is taken only for the final
+        first-writer-wins publication (an assignment, never a pool
+        wait).  ``positions`` may still compute under the lock — its
+        ``order_by`` never touches the pool.
+        """
+        if self._ranks is None:
+            from repro.engine.parallel import parallel_rank_of
+            ranks = parallel_rank_of(self.positions, parallel)
+            with self._lock:
+                if self._ranks is None:
+                    self._ranks = ranks
         return self._ranks
 
     @property
@@ -62,19 +103,39 @@ class OrderInfo:
     @property
     def is_key(self) -> bool:
         if self._is_key is None:
-            verdict = None
-            if self._positions is None and properties_enabled():
-                # Sort-free verdict from cached bits when possible; the
-                # nil-string check keeps parity with the sorting path.
-                verdict = _key_shortcut(self._bats)
-                if verdict is not None:
-                    _require_orderable(self._bats)
-            if verdict is None:
-                # Undecided: compute (and keep) the order once, then the
-                # check is a linear adjacent scan — never a second sort.
-                verdict = check_key(self._bats, self.positions)
-            self._is_key = verdict
+            with self._lock:
+                if self._is_key is None:
+                    self._is_key = self._compute_is_key()
         return self._is_key
+
+    def _compute_is_key(self) -> bool:
+        verdict = None
+        if self._positions is None and properties_enabled():
+            # Sort-free verdict from cached bits when possible; the
+            # nil-string check keeps parity with the sorting path.
+            verdict = _key_shortcut(self._bats)
+            if verdict is not None:
+                _require_orderable(self._bats)
+        if verdict is None:
+            # Undecided: compute (and keep) the order once, then the
+            # check is a linear adjacent scan — never a second sort.
+            verdict = check_key(self._bats, self.positions)
+        return verdict
+
+    def lex_sorted_memo(self, compute) -> bool:
+        """Memoized lexicographic-sortedness verdict for these columns.
+
+        ``compute`` (:func:`repro.relational.joins.lex_sorted`, passed in
+        to avoid an import cycle) is invoked at most once per relation and
+        attribute tuple — the ambiguous sorted-with-duplicates-major case
+        pays its O(n·k) scan on the first probe only, like the single-key
+        ``tsorted`` bit.
+        """
+        if self._lex_sorted is None:
+            with self._lock:
+                if self._lex_sorted is None:
+                    self._lex_sorted = bool(compute(self._bats))
+        return self._lex_sorted
 
 
 class Relation:
@@ -86,7 +147,7 @@ class Relation:
     matrix operations derive their row order from order schemas.
     """
 
-    __slots__ = ("schema", "columns", "_order_cache")
+    __slots__ = ("schema", "columns", "_order_cache", "_order_lock")
 
     def __init__(self, schema: Schema, columns: Sequence[BAT]):
         if len(schema) != len(columns):
@@ -108,6 +169,7 @@ class Relation:
         self.schema = schema
         self.columns = tuple(columns)
         self._order_cache: dict[tuple[str, ...], OrderInfo] = {}
+        self._order_lock = threading.Lock()
 
     # -- constructors ------------------------------------------------------
 
@@ -210,8 +272,14 @@ class Relation:
             return OrderInfo(self.bats(key))
         info = self._order_cache.get(key)
         if info is None:
-            info = OrderInfo(self.bats(key))
-            self._order_cache[key] = info
+            # Double-checked: concurrent cold lookups must converge on ONE
+            # OrderInfo object, or its internal memoization (and lock)
+            # could not prevent duplicated argsort work across workers.
+            with self._order_lock:
+                info = self._order_cache.get(key)
+                if info is None:
+                    info = OrderInfo(self.bats(key))
+                    self._order_cache[key] = info
         return info
 
     def cached_order_info(self, names: Sequence[str]) -> OrderInfo | None:
@@ -245,7 +313,8 @@ class Relation:
                     info._ranks = positions
             if is_key is not None:
                 info._is_key = bool(is_key)
-        self._order_cache[key] = info
+        with self._order_lock:
+            self._order_cache.setdefault(key, info)
 
     def is_key(self, names: Sequence[str]) -> bool:
         """Whether the named attributes uniquely identify every tuple."""

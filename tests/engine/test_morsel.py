@@ -1,0 +1,136 @@
+"""Partitioner and pool semantics of the morsel engine."""
+
+import numpy as np
+import pytest
+
+from repro.bat.bat import BAT, DataType
+from repro.core.config import ParallelConfig
+from repro.engine.morsel import Morsel, partition, slice_columns
+from repro.engine.parallel import (
+    parallel_astype_float,
+    parallel_gather,
+    parallel_gather_columns,
+    parallel_rank_of,
+)
+from repro.engine.pool import in_worker, run_tasks
+
+
+def covers_exactly(morsels, n):
+    if not morsels:
+        return False
+    if morsels[0].start != 0 or morsels[-1].stop != n:
+        return False
+    return all(a.stop == b.start for a, b in zip(morsels, morsels[1:]))
+
+
+class TestPartition:
+    def test_covers_range_in_order(self):
+        morsels = partition(10, workers=3, min_morsel_rows=1)
+        assert covers_exactly(morsels, 10)
+        assert [m.index for m in morsels] == list(range(len(morsels)))
+
+    def test_balanced_within_one_row(self):
+        morsels = partition(11, workers=4, min_morsel_rows=1)
+        sizes = [m.rows for m in morsels]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 11
+
+    def test_one_row_morsels(self):
+        morsels = partition(3, workers=8, min_morsel_rows=1)
+        assert covers_exactly(morsels, 3)
+        assert all(m.rows == 1 for m in morsels)
+
+    def test_morsel_larger_than_input_stays_serial(self):
+        morsels = partition(100, workers=4, min_morsel_rows=1_000)
+        assert len(morsels) == 1
+        assert morsels[0] == Morsel(0, 0, 100)
+
+    def test_min_rows_bounds_chunk_count(self):
+        morsels = partition(100, workers=8, min_morsel_rows=30)
+        assert covers_exactly(morsels, 100)
+        # 100 // 30 = 3 chunks at most, none below 30 rows
+        assert len(morsels) == 3
+        assert all(m.rows >= 30 for m in morsels)
+
+    def test_empty_and_single_row(self):
+        assert partition(0, 4, 1)[0].rows == 0
+        assert covers_exactly(partition(1, 4, 1), 1)
+
+    def test_slice_columns_are_views(self):
+        col = np.arange(10.0)
+        views = slice_columns([col], Morsel(1, 3, 7))
+        assert views[0].base is col
+        assert np.array_equal(views[0], col[3:7])
+
+    def test_bat_slice_keeps_properties(self):
+        # The partitioner's contract: chunk metadata (sortedness/key
+        # bits) survives slicing, so per-morsel BAT work keeps the
+        # serial short-circuits.
+        bat = BAT(DataType.INT, np.arange(10, dtype=np.int64))
+        assert bat.tsorted and bat.tkey
+        chunk = bat.slice(2, 7)
+        assert chunk.cached_prop("tsorted") and chunk.cached_prop("tkey")
+
+
+class TestPool:
+    def test_results_in_submission_order(self):
+        out = run_tasks([lambda i=i: i * i for i in range(20)])
+        assert out == [i * i for i in range(20)]
+
+    def test_nested_tasks_inline_without_deadlock(self):
+        def outer(i):
+            assert in_worker() or i == 0  # caller runs the first thunk
+            return sum(run_tasks([lambda j=j: i * 10 + j
+                                  for j in range(3)]))
+
+        out = run_tasks([lambda i=i: outer(i) for i in range(8)])
+        assert out == [sum(i * 10 + j for j in range(3)) for i in range(8)]
+
+    def test_first_exception_propagates_in_serial_order(self):
+        def boom(tag):
+            raise ValueError(tag)
+
+        with pytest.raises(ValueError, match="first"):
+            run_tasks([lambda: boom("first"), lambda: boom("second")])
+
+
+PAR = ParallelConfig(enabled=True, workers=3, min_morsel_rows=1)
+
+
+class TestParallelPrimitives:
+    def test_gather_matches_serial(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(size=1000)
+        positions = rng.permutation(1000).astype(np.int64)
+        assert np.array_equal(parallel_gather(values, positions, PAR),
+                              values[positions])
+
+    def test_gather_columns_matches_serial(self):
+        rng = np.random.default_rng(5)
+        columns = [rng.uniform(size=500) for _ in range(4)]
+        columns.append(rng.integers(0, 9, 500))  # mixed dtypes
+        positions = rng.permutation(500).astype(np.int64)
+        outs = parallel_gather_columns(columns, positions, PAR)
+        for out, col in zip(outs, columns):
+            assert out.dtype == col.dtype
+            assert np.array_equal(out, col[positions])
+
+    def test_astype_matches_serial(self):
+        tail = np.arange(999, dtype=np.int64)
+        out = parallel_astype_float(tail, PAR)
+        assert out.dtype == np.float64
+        assert np.array_equal(out, tail.astype(np.float64))
+
+    def test_rank_of_matches_serial(self):
+        rng = np.random.default_rng(1)
+        positions = rng.permutation(777).astype(np.int64)
+        expected = np.empty(777, dtype=np.int64)
+        expected[positions] = np.arange(777, dtype=np.int64)
+        assert np.array_equal(parallel_rank_of(positions, PAR), expected)
+
+    def test_inactive_config_stays_serial(self):
+        off = ParallelConfig(enabled=False)
+        values = np.arange(10.0)
+        positions = np.array([2, 0, 1], dtype=np.int64)
+        assert np.array_equal(parallel_gather(values, positions, off),
+                              values[positions])
