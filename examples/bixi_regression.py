@@ -2,9 +2,10 @@
 
 Mirrors §8.6(1): prepare trips relationally (filter by year, keep frequent
 station pairs, join station coordinates, compute distances), then regress
-duration on distance with relational matrix operations —
-``MMU(INV(CPD(A,A)), CPD(A,V))`` — and compare the recovered coefficients
-with the generator's ground truth.
+duration on distance as one matrix expression —
+``a.cpd(a).inv() @ a.cpd(v)``, the paper's ``MMU(INV(CPD(A,A)), CPD(A,V))``
+— and compare the recovered coefficients with the generator's ground
+truth.  The whole OLS chain is a single plan on the session executor.
 
 Run with::
 
@@ -13,8 +14,8 @@ Run with::
 
 import sys
 
+import repro
 from repro.bat.bat import BAT, DataType
-from repro.core import cpd, inv, mmu
 from repro.data.bixi import (
     DURATION_INTERCEPT,
     DURATION_PER_KM,
@@ -53,13 +54,19 @@ def main(n_trips: int = 60_000) -> None:
         "trip_id": prepared.column("trip_id"),
         "duration": prepared.column("duration").cast(DataType.DBL)})
 
-    # OLS entirely as relational matrix operations.
-    xtx = cpd(a, "trip_id", a, "trip_id")
+    # OLS as one matrix expression on the session API.
+    db = repro.connect()
+    design = db.matrix(a, by="trip_id")
+    xtx = design.cpd(design)
     print("CPD(A, A) — note the contextual attribute C:")
-    print(xtx.pretty())
+    print(xtx.collect().pretty())
 
-    beta = mmu(inv(xtx, "C"), "C", cpd(a, "trip_id", v, "trip_id"), "C")
-    print("\nbeta = MMU(INV(CPD(A,A)) , CPD(A,V)):")
+    beta_expr = xtx.inv() @ design.cpd(v, by="trip_id")
+    print("\nthe whole chain is one plan (CPD(A,A) runs once — "
+          "the session caches the shared subplan):")
+    print(beta_expr.explain())
+    beta = beta_expr.collect()
+    print("\nbeta = a.cpd(a).inv() @ a.cpd(v):")
     print(beta.pretty())
 
     rows = dict(zip(beta.column("C").python_values(),

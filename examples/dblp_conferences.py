@@ -12,9 +12,9 @@ Run with::
 
 import numpy as np
 
+import repro
 import repro.relational.ops as rel_ops
 from repro.bat.bat import BAT, DataType
-from repro.core import cpd
 from repro.data.dblp import generate_publications, generate_ranking
 from repro.relational import join
 from repro.relational.relation import Relation
@@ -36,14 +36,14 @@ def main(n_authors: int = 5_000, n_conferences: int = 12) -> None:
         centered_columns[name] = BAT(DataType.DBL, values - values.mean())
     centered = Relation.from_columns(centered_columns)
 
-    # Covariance via the symmetric cross product (the dsyrk-style path).
-    cross = cpd(centered, "author", centered, "author")
+    # Covariance as one matrix expression: the symmetric cross product
+    # (same handle on both sides — the dsyrk-style path) scaled by
+    # 1/(n-1); the scaling is a kernel-layer scalar step, so the context
+    # attribute C stays attached through it.
+    db = repro.connect()
+    cm = db.matrix(centered, by="author")
     scale = 1.0 / (publications.nrows - 1)
-    cov_columns = {"C": cross.column("C")}
-    for name in names:
-        cov_columns[name] = BAT(DataType.DBL,
-                                cross.column(name).tail * scale)
-    cov = Relation.from_columns(cov_columns)
+    cov = (cm.cpd(cm) * scale).collect()
     print("\ncovariance relation (first rows) — C carries the names:")
     print(cov.pretty(max_rows=5))
 

@@ -4,20 +4,22 @@ Task: determine how similar each of director Lee's films is to any other
 film, based on the ratings of California users.  The computation mixes
 relational operations (selection, join, aggregation, rename) with
 relational matrix operations (sub, tra, mmu) — the covariance pipeline
-w1 ... w8 of Fig. 6 — entirely through the SQL front end.
+w1 ... w8 of Fig. 6 — entirely through the SQL front end of a
+``repro.connect()`` database (the same session whose ``matrix()`` handles
+compile into the same plans; see ``quickstart.py``).
 
 Run with::
 
     python examples/film_similarity.py
 """
 
+import repro
 from repro.data import example_database
-from repro.sql import Session
 
 
 def main() -> None:
     db = example_database()
-    session = Session()
+    session = repro.connect()
     session.register("u", db["user"])
     session.register("f", db["film"])
     session.register("r", db["rating"])

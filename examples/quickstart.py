@@ -1,44 +1,61 @@
-"""Quickstart: the paper's introduction example.
+"""Quickstart: the paper's introduction example — one front door.
 
 A relation ``rating(User, Balto, Heat, Net)`` stores users and their film
-ratings.  ``SELECT * FROM INV(rating BY User)`` orders the relation by
-users and inverts the matrix formed by the ordered numerical columns — the
-result is again a relation with the same schema, and every value keeps its
-origins (the user in its row, the film in its column).
+ratings.  Ordering it by ``User`` makes it a matrix, so inverting it is one
+expression — and the same computation can be written against any of the
+three surfaces (matrix expressions, SQL, eager functions), all of which
+compile into the same logical plan and run on the same executor.
 
 Run with::
 
     python examples/quickstart.py
 """
 
+import numpy as np
+
+import repro
 from repro.data import example_database
-from repro.sql import Session
 
 
 def main() -> None:
-    db = example_database()
-    session = Session()
-    session.register("rating", db["rating"])
+    db = repro.connect()
+    data = example_database()
+    db.register("rating", data["rating"])
 
     print("rating:")
-    print(db["rating"].pretty())
+    print(data["rating"].pretty())
 
-    print("\nSELECT * FROM INV(rating BY User):")
-    inverted = session.execute("SELECT * FROM INV(rating BY User)")
+    # Surface 1 — the matrix-expression API: lazy handles, operator
+    # overloading, explicit collect.
+    rating = db.matrix("rating", by="User")
+    inverted = rating.inv().collect()
+    print("\nrating.inv() — the INV(rating BY User) of the paper:")
     print(inverted.pretty())
 
+    # Surface 2 — SQL with the RMA FROM-clause extension (§7.2).
+    via_sql = db.execute("SELECT * FROM INV(rating BY User)")
+
+    # Surface 3 — eager functions: one-op expressions, immediate collect.
+    via_eager = repro.rma.inv(data["rating"], by="User")
+
+    for name in inverted.names[1:]:
+        assert np.array_equal(inverted.column(name).tail,
+                              via_sql.column(name).tail)
+        assert np.array_equal(inverted.column(name).tail,
+                              via_eager.column(name).tail)
+    print("\nmatrix expression, SQL and eager results agree (bit-identical).")
+
     # Matrix consistency (paper Def. 6.3): multiplying back gives identity.
-    print("\nMMU of the inverse with the original (identity expected):")
-    session.register("inverted", inverted)
-    identity = session.execute(
-        "SELECT * FROM MMU(inverted BY User, rating BY User)")
+    identity = (rating.inv() @ rating).collect()
+    print("\nrating.inv() @ rating (identity expected):")
     print(identity.pretty())
 
-    # The functional algebra API is equivalent to the SQL surface:
-    from repro.core import inv
-    algebra_result = inv(db["rating"], by="User")
-    assert algebra_result.same_rows(inverted)
-    print("\nSQL and algebra results agree.")
+    # The plan behind a chained expression: the session optimizes the
+    # whole chain at once — element-wise steps fuse into one kernel pass,
+    # repeated subexpressions execute once (`shared x2`).
+    chain = 2.0 * rating.inv() @ rating + 1.0
+    print("\nexplain(2.0 * rating.inv() @ rating + 1.0):")
+    print(chain.explain())
 
 
 if __name__ == "__main__":

@@ -12,14 +12,12 @@ Run with::
 
 import numpy as np
 
+import repro
 from repro.core import (
     column_origin,
     matrix_constructor,
-    qqr,
     rnk,
     row_origin,
-    tra,
-    usv,
     verify_origins,
 )
 from repro.data import weather_relation
@@ -28,14 +26,20 @@ from repro.relational import project
 
 def main() -> None:
     weather = weather_relation()
+    db = repro.connect()
+    db.register("weather", weather)
+    m = db.matrix("weather", by="T")
     print("r (Fig. 2):")
     print(weather.pretty())
 
     # -- Fig. 10: the transpose chain -----------------------------------
-    r1 = tra(weather, by="T")
+    # ``m.T`` orders by T and transposes; the result is keyed by the
+    # context attribute C, so the second transpose chains without
+    # re-stating an order schema.
+    r1 = m.T.collect()
     print("\ntra_T(r):")
     print(r1.pretty())
-    r2 = tra(r1, by="C")
+    r2 = m.T.T.collect()
     print("\ntra_C(tra_T(r)):")
     print(r2.pretty())
     original = matrix_constructor(weather, ["T"], ["H", "W"])
@@ -45,14 +49,14 @@ def main() -> None:
           "was lost between operations.")
 
     # -- Fig. 9: origins --------------------------------------------------
-    p2 = usv(weather, by="T")
+    p2 = m.usv().collect()
     print("\nusv_T(r) with row origin r.T and column origin ▽T:")
     print(p2.pretty())
     print("row origin:", row_origin("usv", weather, "T"))
     print("column origin:", column_origin("usv", weather, "T"))
     assert verify_origins("usv", p2, weather, "T")
 
-    p3 = qqr(weather, by=["W", "T"])
+    p3 = db.matrix("weather", by=["W", "T"]).qqr().collect()
     print("\nqqr_{W,T}(r) — a two-attribute order schema:")
     print(p3.pretty())
     assert verify_origins("qqr", p3, weather, ["W", "T"])

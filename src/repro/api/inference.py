@@ -1,0 +1,88 @@
+"""Order-schema and application-schema inference for matrix expressions.
+
+A :class:`~repro.api.matrix.Matrix` handle is a logical plan plus the two
+pieces of schema knowledge chaining needs *before* execution:
+
+* its **order schema** (``by``) — always known: the shape types of paper
+  Table 1 determine the row context of every result, so the order schema
+  of ``a @ b``, ``(a + b).T`` etc. follows mechanically from the operand
+  schemas (:func:`result_by`);
+* its **application schema** (``app``) — known when statically derivable
+  (:func:`result_app` returns ``None`` for the column-cast operations
+  ``tra``/``usv``/``opd``, whose result attributes are *data values*).
+
+The same table drives the early precondition checks (:func:`check_operands`)
+so expression-building errors surface at the call site that caused them,
+not at ``collect()`` — with the same exception types the execution pipeline
+itself raises (:class:`~repro.errors.OrderSchemaError` and friends).  The
+execution-time checks in :mod:`repro.core.context` remain authoritative;
+nothing here is load-bearing for correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.ops import CONTEXT_ATTRIBUTE
+from repro.errors import OrderSchemaError
+from repro.opspec import OpSpec
+
+By = tuple[str, ...]
+
+
+def result_by(spec: OpSpec, by1: By, by2: Optional[By] = None) -> By:
+    """The order schema of an operation's result (paper Table 1/2).
+
+    * shape type ``r1`` — the result keeps the first input's order part;
+    * ``r*`` — element-wise results carry both order parts (U ∘ V);
+    * ``c1``/``1`` — the result rows are identified by the synthesized
+      context attribute ``C`` (schema cast ∆ or the literal ``'r'``).
+    """
+    x = spec.shape_type[0]
+    if x == "r1":
+        return by1
+    if x == "r*":
+        assert by2 is not None
+        return by1 + by2
+    return (CONTEXT_ATTRIBUTE,)
+
+
+def result_app(spec: OpSpec, app1: Optional[By],
+               app2: Optional[By] = None) -> Optional[By]:
+    """The application schema of a result, or None when data-dependent.
+
+    ``c1``/``c*`` inherit the first input's application schema, ``c2`` the
+    second's, ``1`` is the single column named after the operation, and the
+    column-cast types ``r1``/``r2`` name their columns after *order values*
+    — unknowable before execution.
+    """
+    y = spec.shape_type[1]
+    if y in ("c1", "c*"):
+        return app1
+    if y == "c2":
+        return app2
+    if y == "1":
+        return (spec.name,)
+    return None  # r1 / r2: column names are sorted order values
+
+
+def check_operands(spec: OpSpec, by1: By, by2: Optional[By] = None) -> None:
+    """Early (build-time) order-schema checks for expression chaining.
+
+    Only conditions that are decidable from the handles alone are checked
+    here; everything data-dependent (key property, cardinalities, numeric
+    application attributes) stays with the execution pipeline.
+    """
+    for argument, by in ((1, by1), (2, by2)):
+        if by is None:
+            continue
+        if argument in spec.order_card_one and len(by) != 1:
+            raise OrderSchemaError(
+                f"{spec.name}: the column cast requires a single-attribute "
+                f"order schema for argument {argument}, got {len(by)}")
+    if spec.same_shape and by2 is not None:
+        overlap = set(by1) & set(by2)
+        if overlap:
+            raise OrderSchemaError(
+                f"{spec.name}: order schemas overlap on "
+                f"{sorted(overlap)}; rename one side first")

@@ -40,6 +40,7 @@ from repro.core.algebra import (
     rnk,
     rqr,
     sadd,
+    sdiv,
     smul,
     sol,
     ssub,
@@ -62,6 +63,6 @@ __all__ = [
     "rma_operation",
     "add", "sub", "emu", "mmu", "opd", "cpd", "tra", "sol", "inv",
     "evc", "evl", "qqr", "rqr", "dsv", "usv", "vsv", "det", "rnk", "chf",
-    "sadd", "ssub", "smul",
+    "sadd", "ssub", "smul", "sdiv",
     "row_origin", "column_origin", "verify_origins",
 ]

@@ -1,7 +1,7 @@
-"""Public RMA operations (paper Table 2).
+"""Public RMA operations (paper Table 2), as one-op plan expressions.
 
-Each function wraps :func:`repro.core.ops.execute_rma` for one operation.
-Argument conventions are shared:
+Each function runs one operation *eagerly*.  Argument conventions are
+shared:
 
 * ``r``/``s``       — argument relations;
 * ``by``/``s_by``   — order schemas (attribute name or list of names); the
@@ -11,19 +11,26 @@ Argument conventions are shared:
 The remaining attributes form the application schema the matrix kernel is
 applied to; they must be numeric.
 
-These functions execute *eagerly*, one operation at a time.  Pipelines that
-chain several operations (or repeat a subexpression) get plan-level
-optimization — common-subexpression elimination, order-aware join planning
-and warm order caches on derived relations — by building the same calls
-lazily through :mod:`repro.plan.lazy`::
+Since the API redesign these functions are thin adapters over the shared
+plan layer (:mod:`repro.api.eager`): each call builds a one-operation
+expression on the shared IR and collects it immediately on the shared plan
+executor — the exact pipeline SQL statements and
+:class:`~repro.api.matrix.Matrix` expressions run on, producing the exact
+relation (same object, same warm order caches, same errors) the direct
+:func:`repro.core.ops.execute_rma` call produced before.
 
-    from repro.plan.lazy import scan
-    beta = (scan(xtx).rma("inv", by="C")
-            .rma("mmu", by="C", other=xty, other_by="C")
-            .collect())
+A *chain* of operations written this way still executes one op at a time,
+though — re-sorting derived relations, materializing every intermediate and
+caching nothing across calls.  Chains belong on a session
+(:func:`repro.connect`), where the same expression gets element-wise
+fusion, CSE and the session result cache::
 
-Results are bit-identical between the two styles; the lazy path runs on the
-shared plan executor (:mod:`repro.plan.physical`).
+    db = repro.connect()
+    xtx = db.matrix(xtx_rel, by="C")
+    beta = (xtx.inv() @ db.matrix(xty_rel, by="C")).collect()
+
+Results are bit-identical between all the styles; the equivalence tests
+assert it for every operation and the paper's four workloads.
 """
 
 from __future__ import annotations
@@ -41,8 +48,22 @@ def rma_operation(name: str, r: Relation, by: By,
                   s: Relation | None = None, s_by: By | None = None,
                   config: RmaConfig | None = None,
                   scalar: float | None = None) -> Relation:
-    """Run an operation by name (used by the plan executor)."""
+    """Run an operation by name — the plan executor's internal hook.
+
+    This stays on the direct :func:`execute_rma` path (the executor calls
+    it per RMA node; routing it back through the plan layer would
+    recurse).
+    """
     return execute_rma(name, r, by, s, s_by, config, scalar=scalar)
+
+
+def _eager(name: str, r: Relation, by: By,
+           s: Relation | None = None, s_by: By | None = None,
+           config: RmaConfig | None = None,
+           scalar: float | None = None) -> Relation:
+    """One-op expression, collected immediately on the plan executor."""
+    from repro.api.eager import eager_rma  # deferred: api builds on core
+    return eager_rma(name, r, by, s, s_by, config, scalar=scalar)
 
 
 # -- element-wise (shape type (r*, c*)) -------------------------------------
@@ -55,19 +76,19 @@ def add(r: Relation, by: By, s: Relation, s_by: By,
     by ``r``'s application schema.  Rows are matched positionally after
     ordering each relation by its order schema.
     """
-    return execute_rma("add", r, by, s, s_by, config)
+    return _eager("add", r, by, s, s_by, config)
 
 
 def sub(r: Relation, by: By, s: Relation, s_by: By,
         config: RmaConfig | None = None) -> Relation:
     """Matrix subtraction over relations (see :func:`add`)."""
-    return execute_rma("sub", r, by, s, s_by, config)
+    return _eager("sub", r, by, s, s_by, config)
 
 
 def emu(r: Relation, by: By, s: Relation, s_by: By,
         config: RmaConfig | None = None) -> Relation:
     """Element-wise multiplication over relations (see :func:`add`)."""
-    return execute_rma("emu", r, by, s, s_by, config)
+    return _eager("emu", r, by, s, s_by, config)
 
 
 # -- scalar variants (kernel-program layer, not part of Table 2) ---------------
@@ -80,19 +101,30 @@ def sadd(r: Relation, by: By, value: float,
     order part is attached verbatim).  Inside lazy pipelines scalar steps
     fuse into the surrounding element-wise chain as a single kernel step.
     """
-    return execute_rma("sadd", r, by, config=config, scalar=value)
+    return _eager("sadd", r, by, config=config, scalar=value)
 
 
 def ssub(r: Relation, by: By, value: float,
          config: RmaConfig | None = None) -> Relation:
     """Subtract a constant from every application value (see :func:`sadd`)."""
-    return execute_rma("ssub", r, by, config=config, scalar=value)
+    return _eager("ssub", r, by, config=config, scalar=value)
 
 
 def smul(r: Relation, by: By, value: float,
          config: RmaConfig | None = None) -> Relation:
     """Multiply every application value by a constant (see :func:`sadd`)."""
-    return execute_rma("smul", r, by, config=config, scalar=value)
+    return _eager("smul", r, by, config=config, scalar=value)
+
+
+def sdiv(r: Relation, by: By, value: float,
+         config: RmaConfig | None = None) -> Relation:
+    """Divide every application value by a constant (see :func:`sadd`).
+
+    True element-wise division (``np.divide``) — not multiplication by the
+    reciprocal, which differs in the last ulp for most divisors.  Division
+    by zero follows IEEE semantics (±inf/nan) at execution time.
+    """
+    return _eager("sdiv", r, by, config=config, scalar=value)
 
 
 # -- products ----------------------------------------------------------------
@@ -105,7 +137,7 @@ def mmu(r: Relation, by: By, s: Relation, s_by: By,
     part of ``s`` (k x m): ``r``'s application schema width must equal
     ``s``'s cardinality.  Result schema: ``U ∘ V-bar``.
     """
-    return execute_rma("mmu", r, by, s, s_by, config)
+    return _eager("mmu", r, by, s, s_by, config)
 
 
 def opd(r: Relation, by: By, s: Relation, s_by: By,
@@ -115,7 +147,7 @@ def opd(r: Relation, by: By, s: Relation, s_by: By,
     Result columns are named by the sorted values of ``s``'s (single)
     order attribute (column cast ▽V).
     """
-    return execute_rma("opd", r, by, s, s_by, config)
+    return _eager("opd", r, by, s, s_by, config)
 
 
 def cpd(r: Relation, by: By, s: Relation, s_by: By,
@@ -127,7 +159,7 @@ def cpd(r: Relation, by: By, s: Relation, s_by: By,
     Passing the same relation and order schema twice computes the symmetric
     ``AᵀA`` via the dsyrk-style fast path.
     """
-    return execute_rma("cpd", r, by, s, s_by, config)
+    return _eager("cpd", r, by, s, s_by, config)
 
 
 def sol(r: Relation, by: By, s: Relation, s_by: By,
@@ -137,7 +169,7 @@ def sol(r: Relation, by: By, s: Relation, s_by: By,
     ``r`` holds the coefficient matrix, ``s`` the right-hand side(s); both
     are ordered by their order schemas and matched positionally.
     """
-    return execute_rma("sol", r, by, s, s_by, config)
+    return _eager("sol", r, by, s, s_by, config)
 
 
 # -- unary --------------------------------------------------------------------
@@ -149,39 +181,39 @@ def tra(r: Relation, by: By, config: RmaConfig | None = None) -> Relation:
     attributes are named by the sorted values of the single order attribute
     (column cast), so ``tra`` requires ``|U| = 1``.
     """
-    return execute_rma("tra", r, by, config=config)
+    return _eager("tra", r, by, config=config)
 
 
 def inv(r: Relation, by: By, config: RmaConfig | None = None) -> Relation:
     """Matrix inversion; shape type (r1, c1); square application part."""
-    return execute_rma("inv", r, by, config=config)
+    return _eager("inv", r, by, config=config)
 
 
 def evc(r: Relation, by: By, config: RmaConfig | None = None) -> Relation:
     """Eigenvectors (columns sorted by decreasing |eigenvalue|);
     shape type (r1, c1); square application part."""
-    return execute_rma("evc", r, by, config=config)
+    return _eager("evc", r, by, config=config)
 
 
 def evl(r: Relation, by: By, config: RmaConfig | None = None) -> Relation:
     """Eigenvalues as a single column named ``evl``; shape type (r1, 1)."""
-    return execute_rma("evl", r, by, config=config)
+    return _eager("evl", r, by, config=config)
 
 
 def chf(r: Relation, by: By, config: RmaConfig | None = None) -> Relation:
     """Cholesky factorization (upper factor, like R's ``chol``);
     shape type (r1, c1); symmetric positive-definite application part."""
-    return execute_rma("chf", r, by, config=config)
+    return _eager("chf", r, by, config=config)
 
 
 def qqr(r: Relation, by: By, config: RmaConfig | None = None) -> Relation:
     """Q factor of the QR decomposition; shape type (r1, c1)."""
-    return execute_rma("qqr", r, by, config=config)
+    return _eager("qqr", r, by, config=config)
 
 
 def rqr(r: Relation, by: By, config: RmaConfig | None = None) -> Relation:
     """R factor of the QR decomposition; shape type (c1, c1)."""
-    return execute_rma("rqr", r, by, config=config)
+    return _eager("rqr", r, by, config=config)
 
 
 def usv(r: Relation, by: By, config: RmaConfig | None = None) -> Relation:
@@ -190,12 +222,12 @@ def usv(r: Relation, by: By, config: RmaConfig | None = None) -> Relation:
     Result columns are named by the sorted order values (requires
     ``|U| = 1``).
     """
-    return execute_rma("usv", r, by, config=config)
+    return _eager("usv", r, by, config=config)
 
 
 def dsv(r: Relation, by: By, config: RmaConfig | None = None) -> Relation:
     """Singular values as a diagonal matrix; shape type (c1, c1)."""
-    return execute_rma("dsv", r, by, config=config)
+    return _eager("dsv", r, by, config=config)
 
 
 def vsv(r: Relation, by: By, config: RmaConfig | None = None) -> Relation:
@@ -205,14 +237,14 @@ def vsv(r: Relation, by: By, config: RmaConfig | None = None) -> Relation:
     its own definition of VSV returning the V matrix; we follow the
     definition (see DESIGN.md).
     """
-    return execute_rma("vsv", r, by, config=config)
+    return _eager("vsv", r, by, config=config)
 
 
 def det(r: Relation, by: By, config: RmaConfig | None = None) -> Relation:
     """Determinant; shape type (1, 1): one row ``('r', value)``."""
-    return execute_rma("det", r, by, config=config)
+    return _eager("det", r, by, config=config)
 
 
 def rnk(r: Relation, by: By, config: RmaConfig | None = None) -> Relation:
     """Matrix rank; shape type (1, 1): one row ``('r', value)``."""
-    return execute_rma("rnk", r, by, config=config)
+    return _eager("rnk", r, by, config=config)

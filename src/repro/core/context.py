@@ -152,9 +152,16 @@ def _prepare_sorted(relation: Relation, order_names: list[str],
     if config.use_properties:
         parallel = _parallel_of(config)
         info = relation.order_info(order_names)
+        # With the engine on, force the (possibly cold) argsort first so
+        # it runs chunk-parallel; the key check then reuses the cached
+        # order.  Serially the check goes first — it may decide from
+        # cached property bits without ever sorting.
+        positions = info.positions_with(parallel) \
+            if parallel is not None else None
         if validate and not info.is_key:
             raise key_violation(order_names)
-        positions = info.positions
+        if positions is None:
+            positions = info.positions
         app_columns = parallel_gather_columns(
             [_as_float(relation.column(n), parallel) for n in app_names],
             positions, parallel)
@@ -269,8 +276,11 @@ def prepare_binary(r: Relation, r_by: str | Sequence[str], s: Relation,
         if parallel is not None:
             # Force the two sides' sort work concurrently (cached
             # afterwards); the key checks below then reuse the orders.
+            # The first thunk runs on the calling thread, so its argsorts
+            # additionally chunk across the pool (inside a worker the
+            # parallel primitives inline to serial).
             run_tasks([lambda: r_info.ranks_with(parallel),
-                       lambda: s_info.positions])
+                       lambda: s_info.positions_with(parallel)])
         if config.validate_keys:
             if not r_info.is_key:
                 raise key_violation(r_order)
@@ -374,8 +384,11 @@ def prepare_fused(relations: Sequence[Relation],
     if parallel is not None and len(infos) > 1:
         # Per-leaf argsorts and key checks are independent; force them
         # concurrently on the pool (the per-relation order caches are
-        # thread-safe, so each computes exactly once).
-        run_tasks([lambda info=info: (info.positions, info.is_key)
+        # thread-safe, so each computes exactly once).  The first leaf
+        # runs on the calling thread, where the argsort itself chunks
+        # across the pool.
+        run_tasks([lambda info=info: (info.positions_with(parallel),
+                                      info.is_key)
                    for info in infos])
     for (order_names, _), info in zip(splits, infos):
         if not info.is_key:

@@ -1,11 +1,14 @@
 """Morsel-parallel primitives for the prepare stage.
 
-Each function is the parallel twin of a one-line numpy expression the
-serial pipeline uses, preserving it bit for bit: the output array is
-preallocated once and every morsel writes its own ``[start, stop)`` range
-(chunk-ordered merge), so the result is independent of worker scheduling.
-All three release the GIL inside their numpy core loops, which is where
-the multi-core speedup comes from.
+Each function is the parallel twin of a numpy expression the serial
+pipeline uses, preserving it bit for bit.  The gather/cast/scatter
+primitives preallocate the output once and let every morsel write its own
+``[start, stop)`` range (chunk-ordered merge); the argsort primitives
+(:func:`parallel_argsort`, :func:`parallel_order_by`) chunk-sort and
+stable-merge, with the tie-break fixed by chunk order.  Either way the
+result is independent of worker scheduling, and the underlying numpy
+kernels (fancy indexing, ``astype``, ``argsort``, ``searchsorted``)
+release the GIL, which is where the multi-core speedup comes from.
 
 When the configuration is inactive, the input is too small to split, or
 the caller already runs on a pool worker, each function degrades to the
@@ -103,6 +106,84 @@ def parallel_astype_float(tail: np.ndarray, parallel) -> np.ndarray:
 
     map_chunks(run, morsels)
     return out
+
+
+def _merge_runs(keys: np.ndarray, left: np.ndarray,
+                right: np.ndarray) -> np.ndarray:
+    """Stable merge of two key-sorted index runs (all of ``left``'s
+    indices precede ``right``'s in the original array).
+
+    ``searchsorted(..., side="right")`` places every right-run element
+    *after* the equal-key left-run elements, and the ``arange`` offset
+    keeps equal right-run elements in their own order — exactly the
+    (key, original index) order a stable argsort of the concatenation
+    produces.  numpy's binary search uses the sort-order comparison, so
+    NaN keys merge consistently with ``argsort`` (NaNs last).
+    """
+    left_keys = keys[left]
+    right_keys = keys[right]
+    target = np.searchsorted(left_keys, right_keys, side="right")
+    target = target + np.arange(len(right), dtype=np.int64)
+    out = np.empty(len(left) + len(right), dtype=np.int64)
+    out[target] = right
+    mask = np.ones(len(out), dtype=bool)
+    mask[target] = False
+    out[mask] = left
+    return out
+
+
+def parallel_argsort(keys: np.ndarray, parallel) -> np.ndarray:
+    """``np.argsort(keys, kind="stable")`` computed on the worker pool.
+
+    Each morsel stable-argsorts its contiguous slice concurrently; the
+    sorted runs are then combined by a pairwise merge tree (runs stay in
+    ascending original-index order, so every merge's tie-break — left run
+    first — reproduces the stable order).  Bit-identical to the serial
+    argsort for every dtype ``order_by`` sorts (ints, floats with NaNs,
+    object strings); the engine tests assert it.
+    """
+    morsels = plan_morsels(len(keys), parallel)
+    if morsels is None:
+        return np.argsort(keys, kind="stable")
+    runs = map_chunks(
+        lambda m: np.argsort(keys[m.start:m.stop], kind="stable")
+        .astype(np.int64, copy=False) + m.start,
+        morsels)
+    while len(runs) > 1:
+        pairs = [(runs[i], runs[i + 1]) for i in range(0, len(runs) - 1, 2)]
+        tail = [runs[-1]] if len(runs) % 2 else []
+        runs = map_chunks(lambda pair: _merge_runs(keys, *pair),
+                          pairs) + tail
+    return runs[0]
+
+
+def parallel_order_by(bats, parallel) -> np.ndarray:
+    """Morsel-parallel twin of :func:`repro.bat.sorting.order_by`.
+
+    Same structure — identity short-circuit from cached properties, then
+    repeated stable argsort from the minor to the major key — with the
+    argsorts and the permutation gathers running per-morsel on the shared
+    pool.  Degrades to the serial function (same code path, same errors)
+    when the engine is inactive, the input is below the morsel floor, or
+    the caller already runs on a pool worker.
+    """
+    from repro.bat import sorting
+    from repro.bat.properties import properties_enabled
+    if not bats or plan_morsels(len(bats[0]), parallel) is None:
+        return sorting.order_by(bats)
+    n = len(bats[0])
+    for b in bats[1:]:
+        if len(b) != n:
+            return sorting.order_by(bats)  # raises the alignment error
+    if properties_enabled() and sorting._already_ordered(bats):
+        return np.arange(n, dtype=np.int64)
+    positions = np.arange(n, dtype=np.int64)
+    for bat in reversed(bats):
+        key = parallel_gather(sorting._sort_key_array(bat), positions,
+                              parallel)
+        order = parallel_argsort(key, parallel)
+        positions = parallel_gather(positions, order, parallel)
+    return positions
 
 
 def parallel_rank_of(positions: np.ndarray, parallel) -> np.ndarray:

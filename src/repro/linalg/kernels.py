@@ -16,7 +16,8 @@ The registry maps operation names to vectorized ndarray kernels:
   the monolithic path did (BAT kernels for linear operations, including the
   sparse-column fast path), so fused and unfused execution are bit-identical
   — fusion elides *materialization*, never changes arithmetic;
-* the scalar variants ``sadd``/``ssub``/``smul`` are direct numpy ufuncs
+* the scalar variants ``sadd``/``ssub``/``smul``/``sdiv`` are direct numpy
+  ufuncs
   (no backend round trip — a scalar step inside a fused chain costs one
   whole-column operation);
 * any other operation name falls back to the generic backend dispatcher,
@@ -139,6 +140,7 @@ KERNELS: dict[str, Kernel] = {
     "sadd": _scalar_kernel("sadd", lambda col, v: col + v),
     "ssub": _scalar_kernel("ssub", lambda col, v: col - v),
     "smul": _scalar_kernel("smul", lambda col, v: col * v),
+    "sdiv": _scalar_kernel("sdiv", lambda col, v: col / v),
 }
 """Registry: operation name -> vectorized ndarray kernel."""
 
@@ -189,7 +191,8 @@ def run_program(program: KernelProgram, inputs: Sequence[Columns],
 
 # -- morsel-parallel execution ------------------------------------------------
 
-_SCALAR_UFUNCS = {"sadd": np.add, "ssub": np.subtract, "smul": np.multiply}
+_SCALAR_UFUNCS = {"sadd": np.add, "ssub": np.subtract,
+                  "smul": np.multiply, "sdiv": np.divide}
 
 # A chunk kernel maps the current slot list (column *slices*) to the
 # step's result columns for that morsel.

@@ -118,7 +118,8 @@ LINEAR_OPS: frozenset[str] = frozenset(
 
 # -- scalar variants ----------------------------------------------------------
 #
-# Element-wise operations against a constant (R + c, R - c, R * c).  They are
+# Element-wise operations against a constant (R + c, R - c, R * c, R / c).
+# They are
 # not part of the paper's Table 2 (OPS stays the paper's 19 operations and is
 # what the SQL grammar accepts), but they are first-class citizens of the
 # kernel-program layer: a scalar step costs one ufunc inside a fused chain,
@@ -130,6 +131,7 @@ SCALAR_OPS: dict[str, OpSpec] = {spec.name: spec for spec in [
     _spec("sadd", 1, ("r1", "c1"), SortClass.EQUIVARIANT, scalar=True),
     _spec("ssub", 1, ("r1", "c1"), SortClass.EQUIVARIANT, scalar=True),
     _spec("smul", 1, ("r1", "c1"), SortClass.EQUIVARIANT, scalar=True),
+    _spec("sdiv", 1, ("r1", "c1"), SortClass.EQUIVARIANT, scalar=True),
 ]}
 
 ELEMENTWISE_OPS: frozenset[str] = frozenset({"add", "sub", "emu"})

@@ -1,17 +1,21 @@
-"""SELECT compiler: SQL AST -> shared logical plan.
+"""Plan construction: SQL AST -> shared logical plan, plus node builders.
 
-This is the SQL front end's half of the plan layer: it translates a parsed
-``SELECT`` statement (:mod:`repro.sql.ast`) into the shared IR of
-:mod:`repro.plan.nodes`.  It lives in the plan package — not in
+This is the front ends' half of the plan layer: ``build_select`` translates
+a parsed ``SELECT`` statement (:mod:`repro.sql.ast`) into the shared IR of
+:mod:`repro.plan.nodes`, and ``build_rma`` is the one validated constructor
+of :class:`~repro.plan.nodes.Rma` nodes that every Python surface uses (the
+lazy builder :mod:`repro.plan.lazy` and the matrix-expression API
+:mod:`repro.api.matrix`).  It lives in the plan package — not in
 ``repro.sql`` — so the IR and everything that produces it have one home;
 ``repro.sql.logical`` re-exports these names for backwards compatibility.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.errors import PlanError
+from repro.opspec import spec_of
 from repro.plan.nodes import (
     AGGREGATE_FUNCTIONS,
     AggregateSpecNode,
@@ -32,6 +36,52 @@ from repro.plan.nodes import (
     replace_expr,
 )
 from repro.sql import ast
+
+# -- RMA node construction ------------------------------------------------------
+
+
+def as_by(by: "str | Sequence[str] | None", op: str) -> tuple[str, ...]:
+    """Normalize an order schema argument to a non-empty name tuple."""
+    if by is None:
+        raise PlanError(f"{op}: an order schema (by=...) is required")
+    if isinstance(by, str):
+        return (by,)
+    names = tuple(by)
+    if not names:
+        raise PlanError(f"{op}: order schema must not be empty")
+    return names
+
+
+def build_rma(op: str, inputs: tuple[Plan, ...],
+              bys: Sequence["str | Sequence[str]"],
+              alias: Optional[str] = None,
+              scalar: Optional[float] = None) -> Rma:
+    """Validated :class:`~repro.plan.nodes.Rma` construction.
+
+    Checks arity against the operation spec, normalizes the order schemas,
+    and enforces the scalar-variant contract (``sadd``/``ssub``/``smul``
+    require a constant, Table 2 operations reject one).  Shared by the
+    lazy builder and the matrix-expression API so the two front ends can
+    never drift in what they accept.
+    """
+    name = op.lower()
+    spec = spec_of(name)
+    if spec.scalar and scalar is None:
+        raise PlanError(f"{name} requires a scalar value")
+    if not spec.scalar and scalar is not None:
+        raise PlanError(f"{name} does not accept a scalar value")
+    if len(inputs) != spec.arity:
+        kind = "binary" if spec.arity == 2 else "unary"
+        raise PlanError(
+            f"{name} is {kind}: got {len(inputs)} input(s)")
+    if len(bys) != len(inputs):
+        raise PlanError(
+            f"{name}: {len(inputs)} input(s) but {len(bys)} order "
+            "schema(s)")
+    return Rma(name, tuple(inputs),
+               tuple(as_by(by, name) for by in bys), alias,
+               float(scalar) if scalar is not None else None)
+
 
 # -- plan construction ----------------------------------------------------------
 

@@ -34,6 +34,7 @@ from repro.core.config import RmaConfig, default_config
 from repro.errors import PlanError
 from repro.opspec import spec_of
 from repro.plan import nodes
+from repro.plan.build import build_rma
 from repro.plan.cache import PlanCache
 from repro.plan.explain import format_plan
 from repro.plan.optimizer import optimize as optimize_plan
@@ -41,15 +42,21 @@ from repro.plan.physical import Executor, PhysicalInfo, plan_physical
 from repro.relational.relation import Relation
 from repro.sql import ast
 
-def _default_alias(relation: Relation) -> str:
+def default_alias(relation: Relation) -> str:
     """A stable alias per relation *object*.
 
     Two ``scan(r)`` calls over the same relation build equal ``RelScan``
     nodes, so repeated subplans stay recognizable for CSE.  The id cannot
     collide between two live relations, and node equality compares the
-    relation itself as well, so a recycled id is harmless.
+    relation itself as well, so a recycled id is harmless.  Shared with
+    the matrix-expression API (:meth:`repro.api.database.Database.matrix`
+    builds the same leaves, so a relation scanned through either surface
+    is one CSE candidate).
     """
     return f"_rel{id(relation):x}"
+
+
+_default_alias = default_alias  # pre-PR 5 internal name, kept for callers
 
 
 # -- expression DSL ------------------------------------------------------------
@@ -173,17 +180,6 @@ def as_expr(value: Any) -> ast.Expr:
     return ast.Literal(value)
 
 
-def _as_by(by: str | Sequence[str] | None, op: str) -> tuple[str, ...]:
-    if by is None:
-        raise PlanError(f"{op}: an order schema (by=...) is required")
-    if isinstance(by, str):
-        return (by,)
-    names = tuple(by)
-    if not names:
-        raise PlanError(f"{op}: order schema must not be empty")
-    return names
-
-
 # -- the lazy frame -------------------------------------------------------------
 
 class LazyFrame:
@@ -192,20 +188,33 @@ class LazyFrame:
     Frames are immutable: every method returns a new frame wrapping a new
     plan node.  Reusing a frame in two places of one pipeline produces
     *equal* subplans, which the executor recognizes and runs once (CSE).
+
+    ``session`` optionally binds the frame to a
+    :class:`repro.api.database.Database` (duck-typed: ``catalog``,
+    ``config``, ``result_cache``): bound frames plan against the
+    session's catalog — so ``Scan`` leaves of named tables resolve — and
+    ``collect``/``explain`` default to the session's configuration and
+    result cache.  ``Matrix.to_lazy()`` creates bound frames; ``scan()``
+    pipelines stay session-free as before.  The binding survives chaining.
     """
 
-    def __init__(self, plan: nodes.Plan):
+    def __init__(self, plan: nodes.Plan, session=None):
         self._plan = plan
+        self._session = session
 
     @property
     def plan(self) -> nodes.Plan:
         """The logical plan built so far (un-optimized)."""
         return self._plan
 
+    def _wrap(self, plan: nodes.Plan) -> "LazyFrame":
+        """A new frame over ``plan`` keeping this frame's session binding."""
+        return LazyFrame(plan, session=self._session)
+
     # -- relational operators -------------------------------------------------
 
     def filter(self, predicate: Col | ast.Expr) -> "LazyFrame":
-        return LazyFrame(nodes.Filter(self._plan, as_expr(predicate)))
+        return self._wrap(nodes.Filter(self._plan, as_expr(predicate)))
 
     def select(self, *items: str | Col | ast.Expr) -> "LazyFrame":
         """Project expressions; strings select columns by name."""
@@ -219,25 +228,25 @@ class LazyFrame:
                                                    item.out_name))
             else:
                 select_items.append(ast.SelectItem(item, None))
-        return LazyFrame(nodes.Project(self._plan, tuple(select_items)))
+        return self._wrap(nodes.Project(self._plan, tuple(select_items)))
 
     def join(self, other: "LazyFrame | Relation",
              on: Col | ast.Expr, how: str = "inner") -> "LazyFrame":
         """Join on an expression; qualify refs with the scan aliases."""
         other_plan = _as_plan(other)
-        return LazyFrame(nodes.JoinPlan(how, self._plan, other_plan,
-                                        as_expr(on)))
+        return self._wrap(nodes.JoinPlan(how, self._plan, other_plan,
+                                         as_expr(on)))
 
     def sort(self, *names: str, descending: bool = False) -> "LazyFrame":
         items = tuple(ast.OrderItem(ast.ColumnRef(n), descending)
                       for n in names)
-        return LazyFrame(nodes.Sort(self._plan, items))
+        return self._wrap(nodes.Sort(self._plan, items))
 
     def limit(self, count: int, offset: int = 0) -> "LazyFrame":
-        return LazyFrame(nodes.Limit(self._plan, count, offset))
+        return self._wrap(nodes.Limit(self._plan, count, offset))
 
     def distinct(self) -> "LazyFrame":
-        return LazyFrame(nodes.Distinct(self._plan))
+        return self._wrap(nodes.Distinct(self._plan))
 
     # -- relational matrix operations ------------------------------------------
 
@@ -254,29 +263,40 @@ class LazyFrame:
         """
         name = op.lower()
         spec = spec_of(name)
-        if spec.scalar and scalar is None:
-            raise PlanError(f"{name} requires a scalar value")
-        if not spec.scalar and scalar is not None:
-            raise PlanError(f"{name} does not accept a scalar value")
         inputs: list[nodes.Plan] = [self._plan]
-        bys: list[tuple[str, ...]] = [_as_by(by, name)]
+        bys: list = [by]
         if spec.arity == 2:
             if other is None:
                 raise PlanError(
                     f"{name} is binary: supply other and other_by")
-            inputs.append(_as_plan(other))
-            bys.append(_as_by(other_by, name))
+            inputs.append(as_plan(other))
+            bys.append(other_by)
         elif other is not None or other_by is not None:
             raise PlanError(
                 f"{name} is unary: other/other_by are not accepted")
-        return LazyFrame(nodes.Rma(name, tuple(inputs), tuple(bys), alias,
-                                   scalar))
+        # Order-schema normalization and validation live in build_rma —
+        # the one constructor both Python front ends share.
+        return self._wrap(build_rma(name, tuple(inputs), bys, alias,
+                                    scalar))
 
     # -- execution -------------------------------------------------------------
 
-    def _planned(self, optimize: bool, config: RmaConfig | None = None) \
-            -> tuple[nodes.Plan, PhysicalInfo, Catalog]:
-        catalog = Catalog()
+    def _resolved(self, config: RmaConfig | None,
+                  cache: "PlanCache | None") \
+            -> tuple[Catalog, RmaConfig | None, "PlanCache | None"]:
+        """Catalog/config/cache after applying the session binding.
+
+        Explicit arguments win; a bound session fills the gaps; unbound
+        frames keep the historical defaults (fresh catalog, global
+        config, no cache)."""
+        if self._session is None:
+            return Catalog(), config, cache
+        return (self._session.catalog,
+                config or self._session.config,
+                cache if cache is not None else self._session.result_cache)
+
+    def _planned(self, optimize: bool, config: RmaConfig | None,
+                 catalog: Catalog) -> tuple[nodes.Plan, PhysicalInfo]:
         plan = self._plan
         if optimize:
             # Resolve the effective config exactly like the executor does,
@@ -284,7 +304,7 @@ class LazyFrame:
             fuse = (config or default_config()).fuse_elementwise
             plan = optimize_plan(plan, catalog, keep_all=True, fuse=fuse)
         info = plan_physical(plan, catalog)
-        return plan, info, catalog
+        return plan, info
 
     def collect(self, config: RmaConfig | None = None,
                 optimize: bool = True, cse: bool = True,
@@ -294,9 +314,12 @@ class LazyFrame:
         ``cache`` is an optional session-scoped
         :class:`~repro.plan.cache.PlanCache` shared across ``collect``
         calls: repeated RMA/subquery subplans (scans compare by relation
-        identity) skip re-execution entirely.
+        identity) skip re-execution entirely.  Session-bound frames
+        (``Matrix.to_lazy()``) default ``config`` and ``cache`` to the
+        session's and execute against its catalog.
         """
-        plan, info, catalog = self._planned(optimize, config)
+        catalog, config, cache = self._resolved(config, cache)
+        plan, info = self._planned(optimize, config, catalog)
         executor = Executor(catalog, config, physical=info, cse=cse,
                             result_cache=cache)
         return executor.run(plan).to_plain_relation()
@@ -304,20 +327,25 @@ class LazyFrame:
     def explain(self, optimize: bool = True,
                 config: RmaConfig | None = None) -> str:
         """The optimized plan with physical annotations, as text."""
-        plan, info, _ = self._planned(optimize, config)
+        catalog, config, _ = self._resolved(config, None)
+        plan, info = self._planned(optimize, config, catalog)
         return format_plan(plan, info)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"LazyFrame({type(self._plan).__name__})"
 
 
-def _as_plan(source: "LazyFrame | Relation") -> nodes.Plan:
+def as_plan(source: "LazyFrame | Relation") -> nodes.Plan:
+    """The logical plan behind a frame (or a fresh scan of a relation)."""
     if isinstance(source, LazyFrame):
         return source._plan
     if isinstance(source, Relation):
-        return nodes.RelScan(source, _default_alias(source))
+        return nodes.RelScan(source, default_alias(source))
     raise PlanError(
         f"expected a LazyFrame or Relation, got {type(source).__name__}")
+
+
+_as_plan = as_plan  # pre-PR 5 internal name, kept for callers
 
 
 def scan(relation: Relation, name: str | None = None) -> LazyFrame:
@@ -326,4 +354,4 @@ def scan(relation: Relation, name: str | None = None) -> LazyFrame:
         raise PlanError(
             f"scan expects a Relation, got {type(relation).__name__}")
     return LazyFrame(nodes.RelScan(relation,
-                                   name or _default_alias(relation)))
+                                   name or default_alias(relation)))

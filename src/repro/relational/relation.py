@@ -66,25 +66,40 @@ class OrderInfo:
                     self._ranks = rank_of(self.positions)
         return self._ranks
 
+    def positions_with(self, parallel) -> np.ndarray:
+        """``positions``, with the argsort itself morsel-parallel.
+
+        ``parallel`` is a :class:`repro.core.config.ParallelConfig` (or
+        None for serial); the chunk-sorted, stable-merged permutation is
+        bit-identical to :func:`repro.bat.sorting.order_by`, so the
+        cached array is shared with the plain property.
+
+        The sort runs OUTSIDE ``_lock`` — it waits on the worker pool,
+        and waiting on the pool while holding a lock other threads need
+        deadlocks the pool; a racing duplicate sort is the cheaper
+        failure mode.  The lock is taken only for the final
+        first-writer-wins publication (an assignment, never a pool wait).
+        """
+        if self._positions is None:
+            from repro.engine.parallel import parallel_order_by
+            positions = parallel_order_by(self._bats, parallel)
+            with self._lock:
+                if self._positions is None:
+                    self._positions = positions
+        return self._positions
+
     def ranks_with(self, parallel) -> np.ndarray:
         """``ranks``, computing the inverse permutation per-morsel.
 
-        ``parallel`` is a :class:`repro.core.config.ParallelConfig` (or
-        None for serial); the scatter result is bit-identical to
-        :func:`repro.bat.sorting.rank_of` either way, so the cached array
-        is shared with the plain property.
-
-        The scatter itself runs OUTSIDE ``_lock`` — it waits on the
-        worker pool, and waiting on the pool while holding a lock other
-        threads need deadlocks the pool; a racing duplicate scatter is
-        the cheaper failure mode.  The lock is taken only for the final
-        first-writer-wins publication (an assignment, never a pool
-        wait).  ``positions`` may still compute under the lock — its
-        ``order_by`` never touches the pool.
+        Same discipline as :meth:`positions_with`: the pool-waiting work
+        (the parallel argsort it delegates to, then the scatter) runs
+        outside ``_lock``, and only the first-writer-wins publication
+        takes it.
         """
         if self._ranks is None:
             from repro.engine.parallel import parallel_rank_of
-            ranks = parallel_rank_of(self.positions, parallel)
+            positions = self.positions_with(parallel)
+            ranks = parallel_rank_of(positions, parallel)
             with self._lock:
                 if self._ranks is None:
                     self._ranks = ranks

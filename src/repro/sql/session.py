@@ -1,264 +1,30 @@
-"""SQL sessions: statements in, relations out.
+"""Deprecated SQL sessions — superseded by ``repro.connect()``.
 
-A :class:`Session` owns three caches, all scoped to the session:
+The session machinery (catalog binding, parse/plan/result caches, SQL
+statement execution) moved to :class:`repro.api.database.Database`, the
+single front door that also serves the matrix-expression API
+(:meth:`~repro.api.database.Database.matrix`) and the lazy pipeline
+builder.  :class:`Session` remains as a thin compatibility subclass so
+existing imports keep working:
 
-* a **parse cache** (SQL text -> statement AST — parsing is pure);
-* a **statement-plan cache** (SQL text -> optimized logical plan, stamped
-  with the catalog versions of the referenced tables, since optimization
-  reads table schemas);
-* a **result cache** (:class:`repro.plan.cache.PlanCache`): repeated RMA /
-  subquery subplans — including across *different* statements — return
-  their memoized relations.  Entries are stamped with per-table catalog
-  versions, so ``CREATE``/``INSERT``/``DROP``/``register`` invalidate
-  exactly the affected entries.
+>>> from repro.sql import Session     # deprecated
+>>> session = Session()               # identical to repro.connect()
 
-``Session(plan_cache=False)`` disables all three (the fully-uncached mode
-the ablation benchmark's baseline measures); plan and result entries are
-additionally revalidated against the config's
-:meth:`~repro.core.config.RmaConfig.cache_token`, so swapping or mutating
-the session config replans instead of serving stale entries.
+New code should call :func:`repro.connect`.
 """
 
 from __future__ import annotations
 
-from typing import Any
-
-from repro.bat.bat import DataType
-from repro.bat.catalog import Catalog
-from repro.core.config import RmaConfig, default_config
-from repro.errors import BindError, PlanError, SqlError
-from repro.plan import nodes
-from repro.plan.build import build_select
-from repro.plan.cache import LruDict, PlanCache, catalog_stamps
-from repro.plan.explain import explain_lines
-from repro.plan.optimizer import optimize
-from repro.plan.physical import (
-    Executor,
-    ExpressionEvaluator,
-    Frame,
-    PhysicalInfo,
-    plan_physical,
-)
-from repro.relational.relation import Relation
-from repro.relational.ops import union_all
-from repro.sql import ast
-from repro.sql.parser import parse_sql
-
-_MAX_CACHED_STATEMENTS = 256
-
-_TYPE_NAMES = {
-    "INT": DataType.INT, "INTEGER": DataType.INT, "BIGINT": DataType.INT,
-    "SMALLINT": DataType.INT,
-    "DOUBLE": DataType.DBL, "FLOAT": DataType.DBL, "REAL": DataType.DBL,
-    "DECIMAL": DataType.DBL, "NUMERIC": DataType.DBL,
-    "VARCHAR": DataType.STR, "CHAR": DataType.STR, "TEXT": DataType.STR,
-    "STRING": DataType.STR,
-    "DATE": DataType.DATE, "TIME": DataType.TIME,
-    "BOOLEAN": DataType.BOOL, "BOOL": DataType.BOOL,
-}
+from repro.api.database import Database, _TYPE_NAMES  # noqa: F401  (shim)
 
 
-class Session:
-    """A connection-like object bound to a catalog.
+class Session(Database):
+    """Deprecated alias of :class:`repro.api.database.Database`.
 
-    >>> session = Session()
-    >>> session.register("r", some_relation)
-    >>> result = session.execute("SELECT * FROM INV(r BY T)")
+    Kept so pre-redesign code and the paper-era examples keep running
+    unchanged; it adds nothing over ``Database`` and will eventually be
+    removed.  Use :func:`repro.connect` instead.
     """
 
-    def __init__(self, catalog: Catalog | None = None,
-                 config: RmaConfig | None = None,
-                 optimize_plans: bool = True,
-                 plan_cache: "bool | PlanCache" = True):
-        self.catalog = catalog or Catalog()
-        self.config = config
-        self.optimize_plans = optimize_plans
-        # ``plan_cache=False`` disables ALL session caching (parse,
-        # statement-plan and result) — the fully-uncached mode the
-        # ablation baseline measures.
-        self._caching = not (plan_cache is False or plan_cache is None)
-        if plan_cache is True:
-            self.result_cache: PlanCache | None = PlanCache()
-        elif not self._caching:
-            self.result_cache = None
-        else:
-            self.result_cache = plan_cache
-        self.last_stats = None  # ExecStats of the most recent SELECT
-        self._statements: LruDict = LruDict(_MAX_CACHED_STATEMENTS)
-        # Select AST -> (plan, physical info, stamps, config token,
-        #                optimize_plans)
-        self._select_plans: LruDict = LruDict(_MAX_CACHED_STATEMENTS)
 
-    # -- catalog helpers --------------------------------------------------------
-
-    def register(self, name: str, relation: Relation,
-                 replace: bool = True) -> None:
-        """Register an in-memory relation as a table."""
-        self.catalog.create(name, relation, replace=replace)
-
-    def table(self, name: str) -> Relation:
-        return self.catalog.get(name)
-
-    # -- execution -----------------------------------------------------------------
-
-    def execute(self, sql: str) -> Relation | None:
-        """Execute one SQL statement.
-
-        SELECT returns a relation; DDL/DML return None (INSERT returns
-        None after updating the catalog).
-        """
-        statement = self._parse_cached(sql)
-        if isinstance(statement, ast.Select):
-            return self._run_select(statement)
-        if isinstance(statement, ast.Explain):
-            lines = self._explain_lines(statement.query)
-            return Relation.from_columns({"explain": lines})
-        if isinstance(statement, ast.CreateTable):
-            return self._run_create(statement)
-        if isinstance(statement, ast.DropTable):
-            self.catalog.drop(statement.name, if_exists=statement.if_exists)
-            return None
-        if isinstance(statement, ast.InsertValues):
-            return self._run_insert(statement)
-        raise SqlError(f"unsupported statement {statement!r}")
-
-    def _parse_cached(self, sql: str) -> ast.Statement:
-        """Parse with a per-session cache (parsing is a pure function)."""
-        if not self._caching:
-            return parse_sql(sql)
-        key = sql.strip()
-        statement = self._statements.get(key)
-        if statement is None:
-            statement = parse_sql(sql)
-            self._statements.store(key, statement)
-        else:
-            self._statements.touch(key)
-        return statement
-
-    def _effective_config(self) -> RmaConfig:
-        return self.config or default_config()
-
-    def _plan_select(self, statement: ast.Select) \
-            -> tuple[nodes.Plan, PhysicalInfo]:
-        """AST -> optimized shared plan IR + physical annotations.
-
-        The single entry point for plan construction: plan(), EXPLAIN and
-        execution all route through here — and all share the
-        statement-plan cache, keyed by the (frozen, structurally hashable)
-        Select AST itself — so they can never diverge.  Cached entries are
-        stamped with the
-        catalog versions of the referenced tables (optimization and
-        physical planning consult their schemas and properties) and with
-        the effective config's cache token and ``optimize_plans`` flag, so
-        changing any of them replans instead of serving a plan built under
-        different settings.
-        """
-        config = self._effective_config()
-        cache_key = statement if self._caching else None
-        if cache_key is not None:
-            entry = self._select_plans.get(cache_key)
-            if entry is not None:
-                plan, info, stamps, entry_token, entry_optimize = entry
-                if (entry_token == config.cache_token()
-                        and entry_optimize == self.optimize_plans
-                        and all(self.catalog.table_version(name) == version
-                                for name, version in stamps)):
-                    self._select_plans.touch(cache_key)
-                    return plan, info
-                del self._select_plans[cache_key]
-        plan = build_select(statement)
-        if self.optimize_plans:
-            plan = optimize(plan, self.catalog,
-                            fuse=config.fuse_elementwise)
-        info = plan_physical(plan, self.catalog)
-        if cache_key is not None:
-            self._select_plans.store(
-                cache_key,
-                (plan, info, catalog_stamps(plan, self.catalog),
-                 config.cache_token(), self.optimize_plans))
-        return plan, info
-
-    def _select_statement(self, sql: str) -> ast.Select:
-        """Parse one statement and unwrap to its SELECT (EXPLAIN peels)."""
-        statement = self._parse_cached(sql)
-        if isinstance(statement, ast.Explain):
-            statement = statement.query
-        if not isinstance(statement, ast.Select):
-            raise PlanError("only SELECT statements can be planned")
-        return statement
-
-    def plan(self, sql: str) -> nodes.Plan:
-        """Parse and optimize without executing (for tests/EXPLAIN)."""
-        return self._plan_select(self._select_statement(sql))[0]
-
-    def physical_info(self, sql: str) -> PhysicalInfo:
-        """The physical planner's annotations for a statement."""
-        return self._plan_select(self._select_statement(sql))[1]
-
-    def explain(self, sql: str) -> str:
-        """The optimized plan with physical annotations, as text."""
-        return "\n".join(self._explain_lines(self._select_statement(sql)))
-
-    def _explain_lines(self, statement: ast.Select) -> list[str]:
-        plan, info = self._plan_select(statement)
-        return explain_lines(plan, info)
-
-    def _run_select(self, statement: ast.Select) -> Relation:
-        plan, info = self._plan_select(statement)
-        executor = Executor(self.catalog, self.config, physical=info,
-                            result_cache=self.result_cache)
-        frame = executor.run(plan)
-        self.last_stats = executor.stats
-        return frame.to_plain_relation()
-
-    def _run_create(self, statement: ast.CreateTable) -> None:
-        if statement.source is not None:
-            relation = self._run_select(statement.source)
-            self.catalog.create(statement.name, relation)
-            return None
-        attrs = []
-        for column in statement.columns:
-            dtype = _TYPE_NAMES.get(column.type_name)
-            if dtype is None:
-                raise BindError(
-                    f"unknown column type {column.type_name!r}")
-            attrs.append((column.name, dtype))
-        from repro.relational.schema import Attribute, Schema
-        schema = Schema(Attribute(n, t) for n, t in attrs)
-        self.catalog.create(statement.name, Relation.empty(schema))
-        return None
-
-    def _run_insert(self, statement: ast.InsertValues) -> None:
-        target = self.catalog.get(statement.table)
-        names = list(statement.columns) or target.names
-        unknown = set(names) - set(target.names)
-        if unknown:
-            raise BindError(
-                f"unknown columns {sorted(unknown)} in INSERT")
-        rows: list[list[Any]] = []
-        dual = Relation.from_columns({"_one": [1]})
-        frame = Frame.from_relation(dual, None)
-        evaluator = ExpressionEvaluator(frame)
-        for row_exprs in statement.rows:
-            if len(row_exprs) != len(names):
-                raise PlanError(
-                    f"INSERT row has {len(row_exprs)} values for "
-                    f"{len(names)} columns")
-            row = []
-            for expr in row_exprs:
-                value = evaluator.eval(expr)
-                if hasattr(value, "tail"):
-                    raise PlanError("INSERT values must be constants")
-                row.append(value)
-            rows.append(row)
-        # Build a relation in target column order, filling missing with nil.
-        data: dict[str, list[Any]] = {n: [] for n in target.names}
-        for row in rows:
-            provided = dict(zip(names, row))
-            for n in target.names:
-                data[n].append(provided.get(n))
-        types = {n: target.schema.dtype(n) for n in target.names}
-        addition = Relation.from_columns(data, types)
-        self.catalog.create(statement.table,
-                            union_all(target, addition), replace=True)
-        return None
+__all__ = ["Session"]

@@ -63,29 +63,39 @@ def _join_ranking_and_filter(cov: Relation, ranking: Relation) -> Relation:
     return rel_ops.select_mask(joined, mask)
 
 
-def run_rma(dataset: ConferencesDataset, backend: str = "mkl") \
-        -> WorkloadResult:
+def run_rma(dataset: ConferencesDataset, backend: str = "mkl",
+            matrix: bool = False) -> WorkloadResult:
     times = PhaseTimes()
     config = RmaConfig(policy=BackendPolicy(prefer=backend),
                        validate_keys=False)
     n = dataset.publications.nrows
+    names = dataset.conference_names
     with times.measure("prep"):
         centered = _center(dataset)
     with times.measure("matrix"):
-        # Same relation and order schema twice: symmetric dsyrk-style path.
-        cross = execute_rma("cpd", centered, "author", centered, "author",
-                            config=config)
         scale = 1.0 / (n - 1)
-        names = dataset.conference_names
-        columns = {"C": cross.column("C")}
-        for name in names:
-            columns[name] = BAT(DataType.DBL,
-                                cross.column(name).tail * scale)
-        cov = Relation.from_columns(columns)
+        if matrix:
+            # One expression: symmetric cross product (the dsyrk-style
+            # path — both operands are the same handle) scaled by the
+            # kernel-layer smul, which keeps the context attribute C
+            # attached through the scaling.
+            from repro.api import connect
+            cm = connect(config=config).matrix(centered, by="author")
+            cov = (cm.cpd(cm) * scale).collect()
+        else:
+            # Same relation and order schema twice: symmetric dsyrk path.
+            cross = execute_rma("cpd", centered, "author", centered,
+                                "author", config=config)
+            columns = {"C": cross.column("C")}
+            for name in names:
+                columns[name] = BAT(DataType.DBL,
+                                    cross.column(name).tail * scale)
+            cov = Relation.from_columns(columns)
     with times.measure("prep"):
         result = _join_ranking_and_filter(cov, dataset.ranking)
     signature = _signature(result, names)
-    return WorkloadResult(f"RMA+{backend.upper()}", times, signature,
+    label = f"RMA+{backend.upper()}" + ("+API" if matrix else "")
+    return WorkloadResult(label, times, signature,
                           {"a_plus_plus": result.nrows})
 
 
@@ -176,6 +186,7 @@ def run_conferences(dataset: ConferencesDataset,
     runners = {
         "rma-mkl": lambda: run_rma(dataset, "mkl"),
         "rma-bat": lambda: run_rma(dataset, "bat"),
+        "rma-api": lambda: run_rma(dataset, "mkl", matrix=True),
         "aida": lambda: run_aida(dataset),
         "r": lambda: run_r(dataset),
         "madlib": lambda: run_madlib(dataset),

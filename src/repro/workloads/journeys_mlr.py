@@ -103,8 +103,10 @@ def _design_names(dataset: JourneysDataset) -> list[str]:
     return [f"dist{leg}" for leg in range(1, dataset.n_legs + 1)]
 
 
-def _rma_mlr(prepared: Relation, names: list[str],
-             config: RmaConfig) -> np.ndarray:
+def _mlr_inputs(prepared: Relation,
+                names: list[str]) -> tuple[Relation, Relation]:
+    """Design relation A = [1, dist1..distK] and target V, keyed by
+    journey_id."""
     n = prepared.nrows
     columns = {"journey_id": prepared.column("journey_id"),
                "const": BAT(DataType.DBL, np.ones(n))}
@@ -114,6 +116,12 @@ def _rma_mlr(prepared: Relation, names: list[str],
     v = Relation.from_columns({
         "journey_id": prepared.column("journey_id"),
         "y": prepared.column("total_duration")})
+    return a, v
+
+
+def _rma_mlr(prepared: Relation, names: list[str],
+             config: RmaConfig) -> np.ndarray:
+    a, v = _mlr_inputs(prepared, names)
     xtx = execute_rma("cpd", a, "journey_id", a, "journey_id",
                       config=config)
     xty = execute_rma("cpd", a, "journey_id", v, "journey_id",
@@ -123,16 +131,31 @@ def _rma_mlr(prepared: Relation, names: list[str],
     return beta.column("y").tail.copy()
 
 
-def run_rma(dataset: JourneysDataset, backend: str = "mkl") \
-        -> WorkloadResult:
+def _rma_mlr_matrix(prepared: Relation, names: list[str],
+                    config: RmaConfig) -> np.ndarray:
+    """The same MLR as one matrix expression (``(A'A)^-1 A'y``)."""
+    from repro.api import connect
+
+    db = connect(config=config)
+    a, v = _mlr_inputs(prepared, names)
+    design = db.matrix(a, by="journey_id")
+    beta = (design.cpd(design).inv()
+            @ design.cpd(v, by="journey_id")).collect()
+    return beta.column("y").tail.copy()
+
+
+def run_rma(dataset: JourneysDataset, backend: str = "mkl",
+            matrix: bool = False) -> WorkloadResult:
     times = PhaseTimes()
     config = RmaConfig(policy=BackendPolicy(prefer=backend),
                        validate_keys=False)
     with times.measure("prep"):
         prepared = engine_prepare(dataset)
     with times.measure("matrix"):
-        beta = _rma_mlr(prepared, _design_names(dataset), config)
-    return WorkloadResult(f"RMA+{backend.upper()}", times, beta,
+        mlr = _rma_mlr_matrix if matrix else _rma_mlr
+        beta = mlr(prepared, _design_names(dataset), config)
+    label = f"RMA+{backend.upper()}" + ("+API" if matrix else "")
+    return WorkloadResult(label, times, beta,
                           {"journeys": prepared.nrows})
 
 
@@ -251,6 +274,7 @@ def run_journeys(dataset: JourneysDataset, systems: tuple[str, ...] =
     runners = {
         "rma-mkl": lambda: run_rma(dataset, "mkl"),
         "rma-bat": lambda: run_rma(dataset, "bat"),
+        "rma-api": lambda: run_rma(dataset, "mkl", matrix=True),
         "aida": lambda: run_aida(dataset),
         "r": lambda: run_r(dataset),
         "madlib": lambda: run_madlib(dataset),

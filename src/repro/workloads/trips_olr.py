@@ -151,13 +151,34 @@ def _rma_ols_lazy(prepared: Relation, config: RmaConfig) -> np.ndarray:
     return beta.column("duration").tail.copy()
 
 
+def _rma_ols_matrix(prepared: Relation, config: RmaConfig) -> np.ndarray:
+    """The same OLS as one matrix expression on the session API.
+
+    ``beta = (A'A)^-1 A'v`` reads as linear algebra —
+    ``(a.cpd(a).inv() @ a.cpd(v))`` — and compiles into the exact plan
+    :func:`_rma_ols_lazy` builds, so it inherits warm intermediate order
+    caches and the session's plan/result caches.  Bit-identical to both
+    other styles (asserted by the equivalence tests).
+    """
+    from repro.api import connect
+
+    db = connect(config=config)
+    a, v = _ols_inputs(prepared)
+    design = db.matrix(a, by="trip_id")
+    beta = (design.cpd(design).inv()
+            @ design.cpd(v, by="trip_id")).collect()
+    return beta.column("duration").tail.copy()
+
+
 def run_rma(dataset: TripsDataset, backend: str = "mkl",
             validate_keys: bool = False,
-            lazy: bool = False) -> WorkloadResult:
+            lazy: bool = False, matrix: bool = False) -> WorkloadResult:
     """RMA+ with the given kernel backend ('mkl' or 'bat').
 
-    ``lazy=True`` runs the matrix part through the shared plan layer
-    (:mod:`repro.plan.lazy`) instead of eager per-operation execution.
+    ``lazy=True`` runs the matrix part through the lazy pipeline builder
+    (:mod:`repro.plan.lazy`); ``matrix=True`` through the session-scoped
+    matrix-expression API (:mod:`repro.api`).  Both build the same shared
+    plan instead of eager per-operation execution.
     """
     times = PhaseTimes()
     config = RmaConfig(policy=BackendPolicy(prefer=backend),
@@ -165,9 +186,11 @@ def run_rma(dataset: TripsDataset, backend: str = "mkl",
     with times.measure("prep"):
         prepared = engine_prepare(dataset)
     with times.measure("matrix"):
-        ols = _rma_ols_lazy if lazy else _rma_ols
+        ols = _rma_ols_matrix if matrix else (
+            _rma_ols_lazy if lazy else _rma_ols)
         beta = ols(prepared, config)
-    label = f"RMA+{backend.upper()}" + ("+PLAN" if lazy else "")
+    label = f"RMA+{backend.upper()}" + (
+        "+API" if matrix else "+PLAN" if lazy else "")
     return WorkloadResult(label, times, beta, {"rows": prepared.nrows})
 
 
@@ -298,6 +321,7 @@ def run_trips(dataset: TripsDataset, systems: tuple[str, ...] =
         "rma-mkl": lambda: run_rma(dataset, "mkl"),
         "rma-bat": lambda: run_rma(dataset, "bat"),
         "rma-plan": lambda: run_rma(dataset, "mkl", lazy=True),
+        "rma-api": lambda: run_rma(dataset, "mkl", matrix=True),
         "aida": lambda: run_aida(dataset),
         "r": lambda: run_r(dataset),
         "madlib": lambda: run_madlib(dataset),

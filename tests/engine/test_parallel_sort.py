@@ -1,0 +1,109 @@
+"""Parallel argsort: bit-identity with the serial stable sort.
+
+The PR 4 follow-up: ``OrderInfo`` argsorts now chunk across the shared
+worker pool (per-morsel stable argsort + pairwise stable merge).  The
+contract is the engine's usual one — bit-identical to the serial path for
+every input the serial path accepts, including duplicate keys (stability),
+NaNs (sorted last) and object/string keys.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bat.bat import BAT, DataType
+from repro.bat.sorting import order_by, rank_of
+from repro.core.config import ParallelConfig
+from repro.engine.parallel import (
+    parallel_argsort,
+    parallel_order_by,
+    parallel_rank_of,
+)
+from repro.relational.relation import Relation
+
+
+def forced(workers: int = 4) -> ParallelConfig:
+    return ParallelConfig(enabled=True, workers=workers, min_morsel_rows=1)
+
+
+KEY_CASES = {
+    "ints-with-duplicates": np.array([3, 1, 2, 1, 3, 2, 2, 1, 0, 3] * 37),
+    "floats-with-nans": np.array(
+        [1.5, np.nan, -2.0, np.nan, 0.0, 3.25, -2.0, np.nan, 7.0] * 41),
+    "all-equal": np.zeros(257),
+    "sorted": np.arange(300, dtype=np.float64),
+    "reversed": np.arange(300, dtype=np.float64)[::-1].copy(),
+    "strings": np.array(
+        [f"s{v:03d}" for v in [5, 2, 9, 2, 5, 0, 7, 2, 9]] * 31,
+        dtype=object),
+    "single": np.array([42.0]),
+    "empty": np.array([], dtype=np.float64),
+}
+
+
+class TestParallelArgsort:
+    @pytest.mark.parametrize("name", sorted(KEY_CASES))
+    def test_bit_identical_to_stable_argsort(self, name):
+        keys = KEY_CASES[name]
+        expected = np.argsort(keys, kind="stable")
+        result = parallel_argsort(keys, forced())
+        assert result.dtype == np.int64
+        assert np.array_equal(result, expected)
+
+    @pytest.mark.parametrize("workers", [2, 3, 5, 16])
+    def test_every_merge_tree_shape(self, workers):
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 50, size=1003)
+        expected = np.argsort(keys, kind="stable")
+        assert np.array_equal(
+            parallel_argsort(keys, forced(workers)), expected)
+
+    def test_inactive_config_is_serial(self):
+        keys = KEY_CASES["ints-with-duplicates"]
+        result = parallel_argsort(keys, None)
+        assert np.array_equal(result, np.argsort(keys, kind="stable"))
+
+
+class TestParallelOrderBy:
+    def _bats(self):
+        rng = np.random.default_rng(11)
+        major = np.array([f"g{v}" for v in rng.integers(0, 9, 400)],
+                         dtype=object)
+        minor = rng.integers(0, 1000, 400)
+        return [BAT(DataType.STR, major),
+                BAT(DataType.INT, minor.astype(np.int64))]
+
+    def test_multi_key_matches_serial(self):
+        bats = self._bats()
+        assert np.array_equal(parallel_order_by(bats, forced()),
+                              order_by(bats))
+
+    def test_rank_composition_matches(self):
+        bats = self._bats()
+        positions = parallel_order_by(bats, forced())
+        assert np.array_equal(parallel_rank_of(positions, forced()),
+                              rank_of(order_by(bats)))
+
+    def test_properties_shortcut_preserved(self):
+        sorted_bat = BAT(DataType.INT, np.arange(300, dtype=np.int64))
+        result = parallel_order_by([sorted_bat], forced())
+        assert np.array_equal(result, np.arange(300, dtype=np.int64))
+
+
+class TestOrderInfoPositionsWith:
+    def test_equals_serial_and_caches_once(self):
+        rng = np.random.default_rng(3)
+        rel = Relation.from_columns({
+            "k": rng.permutation(500).astype(np.int64),
+            "x": rng.uniform(0, 1, 500)})
+        info = rel.order_info(["k"])
+        positions = info.positions_with(forced())
+        assert np.array_equal(positions, order_by(rel.bats(["k"])))
+        # Published once: the plain property returns the same array object.
+        assert info.positions is positions
+
+    def test_serial_first_then_parallel_shares(self):
+        rng = np.random.default_rng(4)
+        rel = Relation.from_columns({"k": rng.permutation(200)})
+        info = rel.order_info(["k"])
+        serial = info.positions
+        assert info.positions_with(forced()) is serial
